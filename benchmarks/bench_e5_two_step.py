@@ -1,0 +1,134 @@
+"""E5 — Theorem VI.3 / Lemmas VI.1–VI.2: the 2-step algorithm.
+
+Paper claims, for ``N > 2t² + t``:
+
+* renaming in exactly 2 rounds with namespace ``N²``, order preserved;
+* the per-id new-name discrepancy across correct processes is ``Δ ≤ 2t²``
+  (Lemma VI.1) and consecutive correct names sit ``≥ N − t`` apart
+  (Lemma VI.2) — the regime condition is exactly ``N − t > 2t²``.
+
+Measured: (a) properties + measured Δ and minimum gap at in-regime sizes
+under the selective-echo worst case (Δ should hit exactly ``2t²``);
+(b) the crossover — running the same attack *below* the regime boundary
+(resilience check disabled) breaks order preservation, locating the
+threshold the theorem predicts.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from bench_utils import once
+from repro import SystemParams, TwoStepOptions, TwoStepRenaming, run_protocol
+from repro.adversary import make_adversary
+from repro.analysis import check_renaming, format_table, step_curve
+from repro.workloads import make_ids
+
+IN_REGIME = [(4, 1), (11, 2), (12, 2), (22, 3)]
+
+
+def measure_in_regime(n, t):
+    params = SystemParams(n, t)
+    worst_delta = 0
+    min_gap = None
+    ok = True
+    for seed in (0, 1):
+        result = run_protocol(
+            TwoStepRenaming,
+            n=n,
+            t=t,
+            ids=make_ids("uniform", n, seed=seed),
+            adversary=make_adversary("selective-echo"),
+            seed=seed,
+        )
+        report = check_renaming(result, params.fast_namespace_bound)
+        ok = ok and report.ok
+        correct_ids = sorted(result.ids[i] for i in result.correct)
+        estimates = {}
+        for index in result.correct:
+            for identifier, name in result.processes[index].new_names.items():
+                estimates.setdefault(identifier, []).append(name)
+        for identifier in correct_ids:
+            values = estimates[identifier]
+            worst_delta = max(worst_delta, max(values) - min(values))
+        for index in result.correct:
+            names = result.processes[index].new_names
+            for smaller, larger in zip(correct_ids, correct_ids[1:]):
+                gap = names[larger] - names[smaller]
+                min_gap = gap if min_gap is None else min(min_gap, gap)
+    return ok, worst_delta, min_gap
+
+
+def crossover(t=2, seeds=6):
+    """Fraction of order-broken runs as N crosses 2t^2 + t."""
+    options = TwoStepOptions(enforce_resilience=False)
+    outcome = {}
+    for n in range(7, 14):
+        broken = 0
+        for seed in range(seeds):
+            result = run_protocol(
+                partial(TwoStepRenaming, options=options),
+                n=n,
+                t=t,
+                ids=make_ids("uniform", n, seed=seed),
+                adversary=make_adversary("selective-echo"),
+                seed=seed,
+            )
+            report = check_renaming(result, n * n)
+            if not report.order_preservation:
+                broken += 1
+        outcome[n] = broken / seeds
+    return outcome
+
+
+def run_all():
+    return (
+        {(n, t): measure_in_regime(n, t) for n, t in IN_REGIME},
+        crossover(),
+    )
+
+
+def test_e5_theorem_vi3(benchmark, publish):
+    in_regime, cross = once(benchmark, run_all)
+
+    rows = []
+    for (n, t), (ok, delta, gap) in in_regime.items():
+        params = SystemParams(n, t)
+        rows.append([
+            n, t, "yes" if ok else "no", delta, params.fast_discrepancy_bound,
+            gap, params.fast_min_gap,
+        ])
+        assert ok
+        assert delta <= params.fast_discrepancy_bound
+        assert gap >= params.fast_min_gap
+
+    threshold = 2 * 2 * 2 + 2  # 2t^2 + t at t=2
+    cross_rows = [
+        [n, "in" if n > threshold else "out", f"{fraction:.2f}"]
+        for n, fraction in cross.items()
+    ]
+    # Above the threshold the attack never breaks order; at/below it does.
+    for n, fraction in cross.items():
+        if n > threshold:
+            assert fraction == 0.0, f"order broke in-regime at n={n}"
+    assert any(f > 0 for n, f in cross.items() if n <= threshold)
+
+    publish(
+        "e5",
+        "E5  Theorem VI.3 — 2-step renaming, Delta <= 2t^2, gap >= N-t\n"
+        "    bottom: order-violation rate across the N > 2t^2 + t boundary "
+        "(t=2, threshold N=10, selective-echo attack)",
+        format_table(
+            ["n", "t", "all-props-ok", "measured Delta", "2t^2 bound",
+             "min gap", "N-t bound"],
+            rows,
+        )
+        + "\n\n"
+        + format_table(["n", "regime", "order-broken fraction"], cross_rows)
+        + "\n\nfigure: order-violation rate vs N (t=2; threshold at N=10)\n"
+        + step_curve(
+            {f"N={n}": fraction for n, fraction in cross.items()},
+            lo=0.0,
+            hi=1.0,
+        ),
+    )

@@ -1,0 +1,137 @@
+"""E6 — message complexity (Sections IV-D and VI-B).
+
+Paper claims:
+
+* Alg. 1: ``3⌈log₂ t⌉ + 7`` all-to-all rounds → ``O(N² log t)`` messages of
+  at most ``O((N+t−1)(log N_max + log N))`` bits each;
+* Alg. 4: exactly ``2N²`` messages of at most ``O(N log N_max)`` bits.
+
+Measured: simulator traffic accounting for both algorithms across a grid.
+The exact constants depend on the encoding model (documented in
+``repro.sim.messages``), so the table reports measured/claimed ratios —
+the *shape* must hold: Alg. 1's per-round messages are ≤ N² and its peak
+message ≤ the Section IV-D bit bound; Alg. 4's totals are exactly ``2N²``
+link transmissions.
+"""
+
+from __future__ import annotations
+
+from bench_utils import once
+from repro import (
+    OrderPreservingRenaming,
+    SystemParams,
+    TwoStepRenaming,
+    run_protocol,
+)
+from repro.adversary import make_adversary
+from repro.analysis import format_table
+from repro.sim.messages import KIND_BITS, RANK_FRACTION_BITS, int_bits
+from repro.workloads import DEFAULT_NAMESPACE, make_ids
+
+ALG1_SIZES = [(4, 1), (7, 2), (10, 3), (13, 4), (16, 5)]
+ALG4_SIZES = [(4, 1), (11, 2), (22, 3)]
+
+
+def measure_alg1(n, t, seed=0):
+    result = run_protocol(
+        OrderPreservingRenaming,
+        n=n,
+        t=t,
+        ids=make_ids("uniform", n, seed=seed),
+        adversary=make_adversary("id-forging"),
+        seed=seed,
+    )
+    return result.metrics
+
+
+def measure_alg4(n, t, seed=0):
+    result = run_protocol(
+        TwoStepRenaming,
+        n=n,
+        t=t,
+        ids=make_ids("uniform", n, seed=seed),
+        adversary=make_adversary("selective-echo"),
+        seed=seed,
+    )
+    return result.metrics
+
+
+def run_grid():
+    return (
+        {(n, t): measure_alg1(n, t) for n, t in ALG1_SIZES},
+        {(n, t): measure_alg4(n, t) for n, t in ALG4_SIZES},
+    )
+
+
+def alg1_peak_bits_bound(n, t):
+    """Section IV-D: (N+t-1) entries of (log N_max + log N [+fraction]) bits."""
+    params = SystemParams(n, t)
+    id_bits = int_bits(DEFAULT_NAMESPACE + 1)
+    rank_bits = int_bits(n * n + 1)
+    per_entry = id_bits + rank_bits + RANK_FRACTION_BITS
+    return KIND_BITS + params.namespace_bound * per_entry
+
+
+def test_e6_message_complexity(benchmark, publish):
+    alg1, alg4 = once(benchmark, run_grid)
+
+    rows1 = []
+    for (n, t), metrics in alg1.items():
+        params = SystemParams(n, t)
+        # The paper's O(N^2 log t) counts one *link batch* per ordered pair
+        # per step; steps 2-4 broadcast one control message per id, so the
+        # per-message budget is n^2 for the single-broadcast rounds (1 and
+        # the voting phase) and n^2 * (N+t-1) for the echo/ready rounds.
+        batch_budget = params.total_rounds * n * n
+        message_budget = (
+            (1 + params.voting_rounds) * n * n
+            + 3 * n * n * params.namespace_bound
+        )
+        peak_bound = alg1_peak_bits_bound(n, t)
+        rows1.append([
+            n,
+            t,
+            metrics.round_count,
+            metrics.correct_messages,
+            batch_budget,
+            f"{metrics.correct_messages / batch_budget:.2f}",
+            metrics.peak_message_bits,
+            peak_bound,
+        ])
+        assert metrics.correct_messages <= message_budget
+        # Every voting round is one RanksMessage broadcast per correct
+        # process: exactly (n - t) * n transmissions.
+        voting = [
+            r for r in metrics.rounds if r.round_no > 4
+        ]
+        assert all(r.correct_messages == (n - t) * n for r in voting)
+        assert metrics.peak_message_bits <= peak_bound
+
+    rows4 = []
+    for (n, t), metrics in alg4.items():
+        claimed = 2 * n * n
+        measured = metrics.correct_messages + metrics.byzantine_messages
+        rows4.append([
+            n, t, metrics.correct_messages, measured, claimed,
+            metrics.peak_message_bits,
+        ])
+        # Correct processes alone: exactly 2 broadcasts x (N-t) senders x N links.
+        assert metrics.correct_messages == 2 * (n - t) * n
+        assert measured <= claimed
+
+    publish(
+        "e6",
+        "E6  Message complexity (Sections IV-D, VI-B)\n"
+        "    Alg. 1 under id-forging; Alg. 4 under selective-echo",
+        format_table(
+            ["n", "t", "rounds", "correct msgs", "N^2-batches budget",
+             "msgs/batches", "peak msg bits", "IV-D bit bound"],
+            rows1,
+        )
+        + "\n\n"
+        + format_table(
+            ["n", "t", "correct msgs", "all msgs", "2N^2 claim",
+             "peak msg bits"],
+            rows4,
+        ),
+    )

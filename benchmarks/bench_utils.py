@@ -1,0 +1,12 @@
+"""Shared helpers for the benchmark harness (importable by name)."""
+
+from __future__ import annotations
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    Experiment sweeps are deterministic and heavy; statistical repetition
+    would only re-measure the same run, so a single timed round is right.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

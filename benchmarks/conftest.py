@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every experiment bench (E1–E9) produces an ASCII table of paper-claim vs
+measured values. Tables are printed (visible with ``pytest -s``) *and*
+written to ``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can
+quote stable artifacts, and each bench asserts the claims it reproduces —
+the benches double as the strictest integration tests.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def publish():
+    """Return a function that prints a titled table and saves it to disk."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _publish(experiment: str, title: str, body: str) -> None:
+        text = f"{title}\n\n{body}\n"
+        print(f"\n{text}")
+        (RESULTS_DIR / f"{experiment}.txt").write_text(text)
+
+    return _publish

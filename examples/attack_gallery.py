@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Attack gallery: run every registered Byzantine strategy against Alg. 1.
+
+For each attack the script reports what the adversary *achieved* (forged
+ids accepted, rank divergence created, messages injected) and verifies that
+the four renaming properties nevertheless held — the executable version of
+Theorem IV.10's "for all adversaries".
+
+Run:  python examples/attack_gallery.py
+"""
+
+from repro import OrderPreservingRenaming, SystemParams, run_protocol
+from repro.adversary import ALG1_ATTACKS, make_adversary
+from repro.analysis import check_renaming, format_table
+
+N, T = 10, 3
+IDS = [11, 222, 3_333, 44_444, 55_555, 66_666, 77_777, 88_888, 99_999,
+       111_111]
+
+
+def probe(attack: str):
+    result = run_protocol(
+        OrderPreservingRenaming,
+        n=N,
+        t=T,
+        ids=IDS,
+        adversary=make_adversary(attack),
+        seed=5,
+        collect_trace=True,
+    )
+    report = check_renaming(result, SystemParams(N, T).namespace_bound)
+
+    accepted_sizes = [
+        len(e.detail)
+        for e in result.trace.select(event="accepted")
+        if e.process in result.correct
+    ]
+    # How far apart did the adversary manage to pull the accepted sets?
+    accepted_sets = [
+        frozenset(e.detail)
+        for e in result.trace.select(event="accepted")
+        if e.process in result.correct
+    ]
+    views = len(set(accepted_sets))
+    return {
+        "attack": attack,
+        "byz msgs": result.metrics.byzantine_messages,
+        "max |accepted|": max(accepted_sizes),
+        "divergent views": views,
+        "max name": max(report.names.values()),
+        "properties": "all hold" if report.ok else "; ".join(report.violations),
+    }
+
+
+def main() -> None:
+    params = SystemParams(N, T)
+    print(f"Alg. 1 at N={N}, t={T} — bound on |accepted|: "
+          f"{params.accepted_bound}, namespace: [1..{params.namespace_bound}]\n")
+
+    rows = [probe(attack) for attack in ALG1_ATTACKS]
+    print(
+        format_table(
+            ["attack", "byz msgs", "max |accepted|", "divergent views",
+             "max name", "properties"],
+            [[r[k] for k in ("attack", "byz msgs", "max |accepted|",
+                             "divergent views", "max name", "properties")]
+             for r in rows],
+        )
+    )
+
+    assert all(r["properties"] == "all hold" for r in rows)
+    print(
+        f"\nall {len(rows)} attacks absorbed: note how id-forging saturates "
+        f"|accepted| at the Lemma IV.3 bound ({params.accepted_bound}) and "
+        "the asymmetric/divergence attacks split the correct processes into "
+        "multiple accepted-set views — yet every run renamed correctly."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Early deciding: pay for worst-case faults only when they happen.
+
+Alg. 1's round budget 3*ceil(log2 t) + 7 is sized for the worst case. In
+the common case — faults are crashes or silence, not active lying — the
+rank approximation is unanimous almost immediately. The early-deciding
+extension (following the direction of Alistarh et al. [1] for the crash
+model) lets a process freeze its decision as soon as every valid vote it
+received agreed with its own ranks for two consecutive rounds, which
+provably pins the final outcome (see docs/algorithms.md).
+
+This script runs the same configuration against a quiet adversary and an
+actively-lying one and prints when each process locked in, versus the
+scheduled deadline.
+
+Run:  python examples/early_deciding.py
+"""
+
+from functools import partial
+
+from repro import OrderPreservingRenaming, RenamingOptions, SystemParams, run_protocol
+from repro.adversary import make_adversary
+
+N, T = 13, 4
+IDS = [7 * k + 3 for k in range(1, N + 1)]
+
+EARLY = partial(
+    OrderPreservingRenaming, options=RenamingOptions(early_deciding=True)
+)
+
+
+def show(attack: str) -> None:
+    result = run_protocol(
+        EARLY,
+        n=N,
+        t=T,
+        ids=IDS,
+        adversary=make_adversary(attack),
+        seed=11,
+        collect_trace=True,
+    )
+    frozen = {
+        e.process: e.round_no
+        for e in result.trace.select(event="early_frozen")
+        if e.process in result.correct
+    }
+    deadline = SystemParams(N, T).total_rounds
+    print(f"\nadversary: {attack}")
+    if frozen:
+        rounds = sorted(set(frozen.values()))
+        print(f"  {len(frozen)}/{len(result.correct)} correct processes froze "
+              f"at round(s) {rounds} (scheduled deadline: {deadline})")
+    else:
+        print(f"  nobody froze early; all decided at the scheduled round "
+              f"{deadline}")
+    names = result.new_names()
+    values = [names[i] for i in sorted(names)]
+    assert values == sorted(values) and len(set(values)) == len(values)
+    print("  names correct and order-preserving either way.")
+
+
+def main() -> None:
+    print(f"N = {N}, t = {T}: scheduled rounds = "
+          f"{SystemParams(N, T).total_rounds}")
+    show("silent")        # faults that never lie: decide ~6 rounds early
+    show("crash")         # crash mid-protocol: still early most runs
+    show("rank-skew")     # active vote skew: freezing is delayed or skipped
+    print(
+        "\nthe adversary can only *delay* the freeze (a liveness attack), "
+        "never corrupt a frozen decision — with silence the latency win is "
+        "most of the voting phase."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Priority-preserving bus arbitration — why *order-preserving* matters.
+
+The paper's motivation: renaming is useful "in settings where the original
+identifiers encode some additional information, such as their relative
+priority in accessing a shared resource". This example plays that scenario
+out.
+
+A control bus serves 9 field devices. Each device carries a factory-burned
+64-bit serial number whose *magnitude encodes its priority class* (lower
+serial = provisioned earlier = higher priority). The bus arbiter has only
+11 priority levels of hardware (N + t - 1 = 11 with N=9, t=2), so the
+devices must agree on compact per-device priority levels — and a device that
+was provisioned earlier must never end up behind a later one, even if up to
+2 devices are compromised and lie about serial numbers.
+
+Non-order-preserving renaming (e.g. the translated [15] baseline) would be
+useless here: it hands out compact names fine, but a compromised run could
+leave the emergency-stop controller with a worse level than the logging
+node. Algorithm 1 guarantees the ordering.
+
+Run:  python examples/priority_arbitration.py
+"""
+
+from repro import OrderPreservingRenaming, SystemParams, run_protocol
+from repro.adversary import make_adversary
+
+DEVICES = [
+    # (serial number, description) — serial order IS priority order.
+    (71_002, "emergency stop controller"),
+    (94_310, "safety interlock"),
+    (182_447, "motion controller"),
+    (310_559, "conveyor PLC"),
+    (402_113, "sensor gateway A"),
+    (533_870, "sensor gateway B"),
+    (710_224, "HMI panel"),
+    (822_901, "firmware updater"),
+    (933_333, "telemetry logger"),
+]
+
+N, T = len(DEVICES), 2
+
+
+def main() -> None:
+    params = SystemParams(N, T)
+    serials = [serial for serial, _ in DEVICES]
+    label = {serial: name for serial, name in DEVICES}
+
+    print(f"{N} devices, up to {T} compromised; "
+          f"{params.namespace_bound} hardware priority levels available\n")
+
+    # The compromised devices mount the divergence attack: they forge
+    # serials visible only to some peers, trying to skew the level
+    # assignment between the safety-critical and auxiliary devices.
+    result = run_protocol(
+        OrderPreservingRenaming,
+        n=N,
+        t=T,
+        ids=serials,
+        adversary=make_adversary("divergence"),
+        seed=2026,
+    )
+
+    compromised = {result.ids[i] for i in result.byzantine}
+    levels = result.new_names()
+
+    print(f"{'serial':>8}  {'level':>5}  device")
+    for serial in sorted(serials):
+        if serial in compromised:
+            print(f"{serial:>8}  {'--':>5}  {label[serial]}  [compromised]")
+        else:
+            print(f"{serial:>8}  {levels[serial]:>5}  {label[serial]}")
+
+    honest = sorted(levels)
+    assigned = [levels[s] for s in honest]
+    assert assigned == sorted(assigned), "priority inversion!"
+    assert len(set(assigned)) == len(assigned), "two devices share a level!"
+    print(
+        "\nno priority inversion: every earlier-provisioned honest device "
+        "kept a better (smaller) level than every later one."
+    )
+    print(f"levels fit the hardware: max level {max(assigned)} <= "
+          f"{params.namespace_bound}.")
+
+
+if __name__ == "__main__":
+    main()

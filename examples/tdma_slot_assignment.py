@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""2-round TDMA slot assignment with Algorithm 4 — when latency is king.
+
+A cluster of 11 radio nodes must pick distinct transmission slots *now*:
+every extra agreement round is a full TDMA frame of dead air. The fast
+algorithm (Alg. 4) fits the bill when the deployment can guarantee
+N > 2t^2 + t (here 11 > 2*4 + 2 = 10): two broadcast rounds — announce,
+echo — and every node computes its slot by counting echoes.
+
+The price is the slot space: names land in [1..N^2] = [1..121] instead of a
+tight [1..N]; for TDMA that's fine — the frame map is sparse anyway, and
+slots stay ordered by node id, so the frequency-hopping schedule derived
+from id order remains valid.
+
+The two Byzantine nodes run the selective-echo attack from Lemma VI.1's
+worst case, inflating targeted nodes' slots by the maximum 2t^2 = 8 —
+absorbed by the N - t = 9 guaranteed gap between consecutive honest slots.
+
+Run:  python examples/tdma_slot_assignment.py
+"""
+
+from repro import SystemParams, TwoStepRenaming, run_protocol
+from repro.adversary import make_adversary
+
+N, T = 11, 2
+NODE_IDS = [1_303, 2_771, 4_042, 4_979, 6_331, 7_177, 8_214, 8_846, 9_555,
+            10_203, 11_498]
+
+
+def main() -> None:
+    params = SystemParams(N, T)
+    print(f"{N} radio nodes, up to {T} Byzantine "
+          f"(fast regime N > 2t^2+t: {params.in_fast_regime})")
+    print(f"slot space: [1..{params.fast_namespace_bound}], "
+          f"rounds: exactly 2\n")
+
+    result = run_protocol(
+        TwoStepRenaming,
+        n=N,
+        t=T,
+        ids=NODE_IDS,
+        adversary=make_adversary("selective-echo"),
+        seed=99,
+    )
+    assert result.metrics.round_count == 2
+
+    slots = result.new_names()
+    print(f"{'node id':>8}  slot")
+    for node in sorted(slots):
+        print(f"{node:>8}  {slots[node]:>4}")
+
+    ordered = sorted(slots)
+    values = [slots[i] for i in ordered]
+    gaps = [b - a for a, b in zip(values, values[1:])]
+    assert values == sorted(values) and len(set(values)) == len(values)
+    # Within any single node's view consecutive honest slots sit N-t apart
+    # (Lemma VI.2); across different nodes' own slots the Byzantine skew of
+    # up to 2t^2 (Lemma VI.1) eats into that, leaving the guaranteed
+    # cross-node gap of N - t - 2t^2 >= 1 — exactly the regime condition.
+    guaranteed = params.fast_min_gap - params.fast_discrepancy_bound
+    assert min(gaps) >= guaranteed
+    print(f"\nassigned in 2 rounds; minimum inter-slot gap {min(gaps)} >= "
+          f"(N-t) - 2t^2 = {guaranteed} — the Lemma VI.2 spacing minus the "
+          f"worst Byzantine skew of Lemma VI.1, positive exactly because "
+          f"N > 2t^2 + t.")
+
+
+if __name__ == "__main__":
+    main()

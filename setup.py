@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists so the package can be
+installed in environments without the ``wheel`` package (where pip's PEP-660
+editable build is unavailable): ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,39 @@
+"""repro — Order-Preserving Renaming in Synchronous Systems with Byzantine Faults.
+
+Full reproduction of Denysyuk & Rodrigues, ICDCS 2013. See README.md for a
+tour and DESIGN.md for the system inventory.
+
+Quick start::
+
+    from repro import run_protocol, OrderPreservingRenaming
+
+    result = run_protocol(
+        OrderPreservingRenaming,
+        n=7, t=2, ids=[103, 55, 210, 8, 77, 150, 42], seed=1,
+    )
+    print(result.new_names())   # original id -> new name in [1..N+t-1]
+"""
+
+from .core import (
+    ConstantTimeRenaming,
+    OrderPreservingRenaming,
+    RenamingOptions,
+    SystemParams,
+    TwoStepOptions,
+    TwoStepRenaming,
+)
+from .sim import RunResult, run_protocol
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConstantTimeRenaming",
+    "OrderPreservingRenaming",
+    "RenamingOptions",
+    "RunResult",
+    "SystemParams",
+    "TwoStepOptions",
+    "TwoStepRenaming",
+    "run_protocol",
+    "__version__",
+]

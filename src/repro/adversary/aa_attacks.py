@@ -1,0 +1,45 @@
+"""Attacks on the standalone approximate-agreement primitive.
+
+:class:`ValueSplitAdversary` is the classic rushing slow-down attack on
+trimmed-mean AA: each round it reads the correct processes' outgoing values
+(rushing power), takes their extremes, and reports the *maximum* to half the
+peers and the *minimum* to the other half. Both values sit inside the
+correct range, so trimming cannot always discard them, and the two halves
+are pulled apart as hard as validity-free AA traffic allows. Lemma IV.8's
+guarantee — contraction by σ_t per round regardless — is exactly what E3
+measures against this adversary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from ..agreement.approximate import ValueMessage
+from ..sim.faults import Adversary
+from ..sim.process import Outbox
+from .base import per_link_outbox
+
+
+class ValueSplitAdversary(Adversary):
+    """Report the correct max to even peers and the correct min to odd ones."""
+
+    def send(self, round_no: int, correct_outboxes: Mapping[int, Outbox]) -> Dict[int, Outbox]:
+        values = []
+        for outbox in correct_outboxes.values():
+            for messages in outbox.values():
+                for message in messages:
+                    if isinstance(message, ValueMessage):
+                        values.append(message.value)
+        if not values:
+            return {}
+        high, low = ValueMessage(max(values)), ValueMessage(min(values))
+        outboxes: Dict[int, Outbox] = {}
+        for slot in self.ctx.byzantine:
+            content = {
+                peer: [high if peer % 2 == 0 else low]
+                for peer in self.ctx.correct
+            }
+            outboxes[slot] = per_link_outbox(
+                content, sender=slot, topology=self.ctx.topology
+            )
+        return outboxes

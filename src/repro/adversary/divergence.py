@@ -1,0 +1,221 @@
+"""Asymmetric forging: divergent ``accepted`` sets across correct processes.
+
+The uniform forging attack (:mod:`repro.adversary.forging`) maximises the
+accepted-set *size* but leaves every correct process with the same set. The
+nastier situation — the one motivating the paper's coordinated validation —
+is *divergence*: some correct processes accept an id that others never see,
+which shifts all their initial ranks and makes the per-id AA input ranges
+overlap across adjacent ids (Section IV-B's opening paragraph).
+
+The construction threads the exact needle left by Lemmas IV.1/A.1. For a
+fake id ``f`` (placed below every correct id) and a victim set ``V`` of
+``v ≤ t`` correct processes:
+
+* Step 1 — announce ``f`` to exactly ``N − 2t`` correct processes (set A);
+  they all echo it.
+* Step 2 — Byzantine slots echo ``f`` only to ``R ⊂ A`` with
+  ``|R| = N − 2t − 1``; only R reaches the ``N − t`` echo threshold and
+  broadcasts READY in step 3.
+* Step 3 — Byzantine slots send READY only to ``V``. Members of ``V`` see
+  ``N − t − 1`` READYs: *below* the timely threshold (so Lemma IV.1's
+  amplification-to-everyone never fires) but *at* the ``N − 2t``
+  amplification threshold, so V broadcasts READY in step 4.
+* Step 4 — V's own READYs push exactly the members of ``V`` past ``N − t``
+  cumulative READY links. ``f`` lands in ``accepted`` at ``V`` and nowhere
+  else.
+
+Every correct process still renames correctly under the full algorithm
+(validation + trimming absorb the divergence — that is experiment E1). The
+companion :class:`DivergenceAdversary` keeps pushing in the voting phase
+with per-recipient vote equivocation; against the *ablated* algorithm
+(``validate_votes=False``, experiment E9a) this breaks uniqueness/order.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..core.messages import EchoMessage, IdMessage, Rank, RanksMessage, ReadyMessage
+from ..sim.faults import Adversary
+from ..sim.messages import Message
+from ..sim.process import Outbox
+from .base import per_link_outbox
+from .forging import forge_fake_ids
+
+
+class AsymmetricForgingAdversary(Adversary):
+    """Make ``v ≤ t`` victim processes accept fakes nobody else accepts."""
+
+    def __init__(
+        self,
+        fake_count: int = 0,
+        victim_count: int = 0,
+        victim_mode: str = "top",
+    ) -> None:
+        """``fake_count=0`` → ``t`` fakes; ``victim_count=0`` → ``t`` victims.
+
+        ``victim_mode``: ``"top"`` victimises the holders of the largest ids
+        (uniform upward shift — stresses the namespace ceiling);
+        ``"alternate"`` victimises every other process in id order, which
+        interleaves shifted and unshifted neighbours — the sharpest probe
+        for rounding collisions between adjacent ids.
+        """
+        if victim_mode not in ("top", "alternate"):
+            raise ValueError(f"unknown victim mode {victim_mode!r}")
+        self._fake_count = fake_count
+        self._victim_count = victim_count
+        self._victim_mode = victim_mode
+
+    def bind(self, ctx) -> None:
+        super().bind(ctx)
+        n, t = ctx.n, ctx.t
+        if t == 0:
+            self.fakes: List[int] = []
+            self.victims: List[int] = []
+            return
+        correct = sorted(ctx.correct, key=lambda i: ctx.ids[i])
+        count = self._fake_count or t
+        victims = self._victim_count or t
+        victims = min(victims, t, len(correct))
+        self.fakes = forge_fake_ids([ctx.ids[i] for i in correct], count, "below")
+        # Victims' ranks for every id shift upward relative to everyone
+        # else's (they accept the fakes below all correct ids).
+        if self._victim_mode == "top":
+            self.victims = correct[-victims:]
+        else:
+            self.victims = correct[1::2][:victims]
+        self.receivers = correct[: max(n - 2 * t, 0)]          # A
+        self.echo_targets = self.receivers[: max(n - 2 * t - 1, 0)]  # R
+
+    def send(self, round_no: int, correct_outboxes: Mapping[int, Outbox]) -> Dict[int, Outbox]:
+        if not self.fakes:
+            return {}
+        if round_no == 1:
+            return self._announce()
+        if round_no == 2:
+            return self._to_peers(self.echo_targets, EchoMessage)
+        if round_no == 3:
+            return self._to_peers(self.victims, ReadyMessage)
+        return {}
+
+    def _announce(self) -> Dict[int, Outbox]:
+        # A link carries exactly one step-1 announcement, so fake j is owned
+        # by faulty slot j and announced by it alone (fake_count ≤ t keeps
+        # this within budget; excess fakes are dropped by the zip).
+        outboxes: Dict[int, Outbox] = {}
+        for slot, fake in zip(self.ctx.byzantine, self.fakes):
+            content: Dict[int, List[Message]] = {
+                peer: [IdMessage(fake)] for peer in self.receivers
+            }
+            if content:
+                outboxes[slot] = per_link_outbox(
+                    content, sender=slot, topology=self.ctx.topology
+                )
+        return outboxes
+
+    def _to_peers(self, peers: Sequence[int], make) -> Dict[int, Outbox]:
+        outboxes: Dict[int, Outbox] = {}
+        for slot in self.ctx.byzantine:
+            content: Dict[int, List[Message]] = {
+                peer: [make(fake) for fake in self.fakes] for peer in peers
+            }
+            if content:
+                outboxes[slot] = per_link_outbox(
+                    content, sender=slot, topology=self.ctx.topology
+                )
+        return outboxes
+
+
+class DivergenceAdversary(AsymmetricForgingAdversary):
+    """Asymmetric forging plus voting-phase zigzag votes.
+
+    The asymmetric forging seeds divergent accepted sets: the ``t`` victims'
+    ranks for every correct id sit ``k·δ`` above everyone else's (``k`` fakes
+    below the smallest correct id), so the per-id AA instances receive
+    *overlapping* input ranges — the exact hazard the paper's Section IV-B
+    opening describes.
+
+    During voting the slots then send, to everyone, a *zigzag* vote: ids at
+    even positions (in original-id order) rated at the top of their correct
+    range, ids at odd positions at the bottom. Those votes invert adjacent
+    pairs, so ``isValid`` rejects every one of them and the full algorithm is
+    unaffected (experiment E1). With ``validate_votes=False`` (ablation E9a)
+    they survive trimming — they sit inside the correct ranges — and steer
+    each adjacent pair of instances to a common point: the pair's rounded
+    names collide, breaking uniqueness/order.
+    """
+
+    def __init__(
+        self,
+        fake_count: int = 0,
+        victim_count: int = 0,
+        push: Optional[Fraction] = None,
+        victim_mode: str = "top",
+        push_mode: str = "zigzag",
+    ) -> None:
+        """``push_mode``:
+
+        * ``"zigzag"`` — per-id alternating extremes in one vote. Inverts
+          adjacent pairs, hence *invalid*: ``isValid`` filters it, so it only
+          bites when validation is ablated (E9a).
+        * ``"valid-shift"`` — a δ-spaced layout uniformly shifted up for
+          victims and unshifted for everyone else, sent per-recipient. Every
+          vote passes ``isValid``; the attack *sustains* the divergence the
+          forging seeded, so it bites when the voting phase is truncated
+          below the Lemma IV.9 schedule (E9c) while the full schedule
+          absorbs it.
+        """
+        if push_mode not in ("zigzag", "valid-shift"):
+            raise ValueError(f"unknown push mode {push_mode!r}")
+        super().__init__(fake_count, victim_count, victim_mode=victim_mode)
+        self._push = push
+        self._push_mode = push_mode
+
+    def bind(self, ctx) -> None:
+        super().bind(ctx)
+        self._correct_ids = sorted(ctx.ids[i] for i in ctx.correct)
+
+    def send(self, round_no: int, correct_outboxes: Mapping[int, Outbox]) -> Dict[int, Outbox]:
+        if round_no <= 4:
+            return super().send(round_no, correct_outboxes)
+        return self._voting_push(correct_outboxes)
+
+    def _voting_push(self, correct_outboxes: Mapping[int, Outbox]) -> Dict[int, Outbox]:
+        from ..core.params import SystemParams
+
+        params = SystemParams(self.ctx.n, self.ctx.t)
+        delta = params.delta
+        push = self._push if self._push is not None else Fraction(len(self.fakes))
+        base: Dict[int, Rank] = {
+            identifier: (position + 1) * delta
+            for position, identifier in enumerate(self._correct_ids)
+        }
+        if self._push_mode == "zigzag":
+            # Even positions pinned to the top of the spread, odd to the
+            # bottom — invalid (inverts adjacent pairs), same vote for all.
+            vote: Dict[int, Rank] = {
+                identifier: rank + push * delta if position % 2 == 0 else rank
+                for position, (identifier, rank) in enumerate(sorted(base.items()))
+            }
+            message = RanksMessage.from_dict(vote)
+            return {
+                slot: {link: [message] for link in self.ctx.topology.labels()}
+                for slot in self.ctx.byzantine
+            }
+        # valid-shift: victims see the shifted layout, others the base one.
+        high = RanksMessage.from_dict(
+            {identifier: rank + push * delta for identifier, rank in base.items()}
+        )
+        low = RanksMessage.from_dict(base)
+        victims = set(self.victims)
+        outboxes: Dict[int, Outbox] = {}
+        for slot in self.ctx.byzantine:
+            content: Dict[int, List[Message]] = {
+                peer: [high if peer in victims else low]
+                for peer in self.ctx.correct
+            }
+            outboxes[slot] = per_link_outbox(
+                content, sender=slot, topology=self.ctx.topology
+            )
+        return outboxes

@@ -1,0 +1,80 @@
+"""Split-world equivocation against the id-selection phase.
+
+Each faulty slot announces a *different* fake id to different halves of the
+correct processes, then echoes/READYs each fake only toward the half that
+knows it. The interesting regime is partial support around the ``N − 2t``
+threshold of Lemma A.1: a fake may end up
+
+* in nobody's ``accepted`` (support too thin),
+* in everyone's ``accepted`` but only some ``timely`` sets — the exact
+  situation the Step-4 amplification (lines 19–23 of Alg. 1) exists for.
+
+Correctness requires only that the invariant ``timely_p ⊆ accepted_q`` holds
+for all correct ``p, q`` and that the renaming properties survive. Both are
+what the tests and E1 assert under this adversary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+from ..core.messages import EchoMessage, IdMessage, ReadyMessage
+from ..sim.faults import Adversary
+from ..sim.messages import Message
+from ..sim.process import Outbox
+from .base import per_link_outbox
+
+
+class SplitWorldAdversary(Adversary):
+    """Two fake ids per faulty slot, each shown to one half of the world.
+
+    ``support`` controls how many correct processes see each fake in round 1:
+    ``"threshold"`` gives the first fake exactly ``N − 2t`` supporters (the
+    Lemma A.1 boundary) and the second the rest; ``"half"`` splits evenly.
+    """
+
+    def __init__(self, support: str = "threshold") -> None:
+        if support not in ("threshold", "half"):
+            raise ValueError(f"unknown support mode {support!r}")
+        self._support = support
+
+    def bind(self, ctx) -> None:
+        super().bind(ctx)
+        correct = list(ctx.correct)
+        top = max(ctx.ids.values())
+        self._fakes: Dict[int, tuple] = {}
+        self._audience: Dict[int, Dict[int, List[int]]] = {}
+        if self._support == "threshold":
+            cut = max(ctx.n - 2 * ctx.t, 0)
+        else:
+            cut = len(correct) // 2
+        for offset, slot in enumerate(ctx.byzantine):
+            first = top + 1 + 2 * offset
+            second = top + 2 + 2 * offset
+            self._fakes[slot] = (first, second)
+            self._audience[slot] = {
+                first: correct[:cut],
+                second: correct[cut:],
+            }
+
+    def send(self, round_no: int, correct_outboxes: Mapping[int, Outbox]) -> Dict[int, Outbox]:
+        if round_no == 1:
+            return self._per_audience(lambda fake: IdMessage(fake))
+        if round_no == 2:
+            return self._per_audience(lambda fake: EchoMessage(fake))
+        if round_no in (3, 4):
+            return self._per_audience(lambda fake: ReadyMessage(fake))
+        return {}
+
+    def _per_audience(self, make) -> Dict[int, Outbox]:
+        outboxes: Dict[int, Outbox] = {}
+        for slot, fakes in self._fakes.items():
+            content: Dict[int, List[Message]] = {}
+            for fake in fakes:
+                for peer in self._audience[slot][fake]:
+                    content.setdefault(peer, []).append(make(fake))
+            if content:
+                outboxes[slot] = per_link_outbox(
+                    content, sender=slot, topology=self.ctx.topology
+                )
+        return outboxes

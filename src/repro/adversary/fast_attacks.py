@@ -1,0 +1,126 @@
+"""Attacks on the 2-step algorithm (Algorithm 4).
+
+:class:`SelectiveEchoAdversary` builds the worst case of Lemmas VI.1/VI.2:
+
+* **Round 1** — each faulty slot announces a *private* fake id (smaller than
+  every correct id) to a targeted half of the correct processes, and a
+  harmless duplicate of a correct id to everyone else. Announcing something
+  on every link matters: Alg. 4's ``isValid`` drops echoes from links that
+  never introduced themselves.
+* **Round 2** — to targeted peers each slot sends a MultiEcho containing
+  ``N − 2t`` correct ids, the ``t`` private fakes (already in the target's
+  ``timely``, so they count toward the overlap check) and ``t`` fresh fakes —
+  exactly the "t known + t arbitrary" worst case in the proof of Lemma VI.1,
+  and exactly ``N`` ids so the size check passes. Non-targets get a plain
+  echo of the correct ids.
+
+Every fake sits *below* the correct ids, so each targeted process's own new
+name inflates by up to ``2t²`` while untargeted processes are unaffected —
+the maximum discrepancy ``Δ``. With the paper's requirement ``N > 2t² + t``
+the ``N − t`` inter-name gap (Lemma VI.2) absorbs it; run the same adversary
+at ``N ≤ 2t² + t`` or with ``clamp_offsets=False`` and order preservation
+visibly breaks (experiments E5/E9b).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from ..core.messages import IdMessage, MultiEchoMessage
+from ..sim.faults import Adversary
+from ..sim.messages import Message
+from ..sim.process import Outbox
+from .base import per_link_outbox
+from .forging import forge_fake_ids
+
+
+class SelectiveEchoAdversary(Adversary):
+    """Maximise new-name discrepancy for targeted processes in Alg. 4."""
+
+    def __init__(self, target: str = "alternate", starve: bool = False) -> None:
+        """``target``: ``"alternate"`` (every other correct process, by id
+        order — the sharpest order-inversion probe), ``"low-half"`` or
+        ``"high-half"`` (processes holding the smaller/larger ids).
+
+        ``starve=True`` switches to the counter-boosting variant aimed at the
+        ``min(counter, N−t)`` clamp: targets receive an echo of *all* correct
+        ids plus the private fakes (boosting every correct counter by ``t``),
+        while non-targets receive no echo at all. With the clamp in place the
+        boost is inert (correct counters saturate at ``N−t`` anyway); with
+        ``clamp_offsets=False`` (ablation E9b) the targets' accumulated
+        offsets inflate by ``t`` per correct id below them — linear in ``N``
+        — and order preservation breaks.
+        """
+        if target not in ("alternate", "low-half", "high-half"):
+            raise ValueError(f"unknown target mode {target!r}")
+        self._target_mode = target
+        self._starve = starve
+
+    def bind(self, ctx) -> None:
+        super().bind(ctx)
+        by_id = sorted(ctx.correct, key=lambda i: ctx.ids[i])
+        if self._target_mode == "alternate":
+            self.targets = set(by_id[::2])
+        elif self._target_mode == "low-half":
+            self.targets = set(by_id[: len(by_id) // 2])
+        else:
+            self.targets = set(by_id[len(by_id) // 2:])
+        correct_ids = sorted(ctx.ids[i] for i in ctx.correct)
+        self._correct_ids = correct_ids
+        # t private fakes (one per slot, announced in round 1) and t fresh
+        # fakes (appearing only inside round-2 echoes), preferentially below
+        # every correct id so they displace every correct name upward.
+        slots = list(ctx.byzantine)
+        fakes = forge_fake_ids(correct_ids, len(slots) + ctx.t, "below")
+        self.private_fake = dict(zip(slots, fakes[: len(slots)]))
+        self.fresh_fakes = fakes[len(slots):]
+
+    def send(self, round_no: int, correct_outboxes: Mapping[int, Outbox]) -> Dict[int, Outbox]:
+        if round_no == 1:
+            return self._announce()
+        if round_no == 2:
+            return self._echo()
+        return {}
+
+    def _announce(self) -> Dict[int, Outbox]:
+        outboxes: Dict[int, Outbox] = {}
+        decoy = self._correct_ids[0]
+        for slot in self.ctx.byzantine:
+            content: Dict[int, List[Message]] = {}
+            for peer in self.ctx.correct:
+                announced = self.private_fake[slot] if peer in self.targets else decoy
+                content[peer] = [IdMessage(announced)]
+            outboxes[slot] = per_link_outbox(
+                content, sender=slot, topology=self.ctx.topology
+            )
+        return outboxes
+
+    def _echo(self) -> Dict[int, Outbox]:
+        n, t = self.ctx.n, self.ctx.t
+        plain: Optional[MultiEchoMessage] = MultiEchoMessage.from_ids(self._correct_ids)
+        if self._starve:
+            # Boost every correct counter at targets; nothing to non-targets.
+            poisoned = MultiEchoMessage.from_ids(
+                self._correct_ids + list(self.private_fake.values())[: n - len(self._correct_ids)]
+            )
+            plain = None
+        else:
+            # N−2t correct ids + t private fakes + t fresh fakes = N ids;
+            # overlap with a target's timely ≥ (N−2t) + t = N−t. Valid.
+            poisoned = MultiEchoMessage.from_ids(
+                self._correct_ids[: max(n - 2 * t, 0)]
+                + list(self.private_fake.values())
+                + self.fresh_fakes
+            )
+        outboxes: Dict[int, Outbox] = {}
+        for slot in self.ctx.byzantine:
+            content: Dict[int, List[Message]] = {}
+            for peer in self.ctx.correct:
+                if peer in self.targets:
+                    content[peer] = [poisoned]
+                elif plain is not None:
+                    content[peer] = [plain]
+            outboxes[slot] = per_link_outbox(
+                content, sender=slot, topology=self.ctx.topology
+            )
+        return outboxes

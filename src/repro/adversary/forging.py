@@ -1,0 +1,156 @@
+"""Colluding id forging — the Lemma IV.3 / A.1 saturation attack.
+
+Lemma A.1: an id enters some correct ``accepted`` set only if at least
+``N − 2t`` correct processes received it in Step 1. Each Byzantine slot can
+announce one id per link, i.e. ``N − t`` announcements toward correct
+processes, so the collusion can sustain at most
+
+    ⌊ t(N−t) / (N−2t) ⌋  =  t + ⌊ t² / (N−2t) ⌋
+
+distinct forged ids — precisely the slack in Lemma IV.3. This adversary
+*constructs* that worst case:
+
+* it fabricates the maximum number of fake ids (placement configurable:
+  interleaved between correct ids, all below, or all above);
+* round 1: each fake id is announced to ``N − 2t`` distinct correct
+  processes, the announcements packed disjointly across the ``t × (N−t)``
+  (slot, peer) budget;
+* round 2: every faulty slot echoes *all* fake ids and all correct ids;
+* rounds 3–4: READY for everything.
+
+Every fake id then clears the ``N − t`` echo and READY thresholds at every
+correct process, so it lands in ``timely`` and ``accepted`` everywhere —
+the accepted set reaches ``N + ⌊t²/(N−2t)⌋`` exactly. During the voting
+phase the slots stay silent (the damage is already done; correct processes
+still receive ``N − t`` valid votes from each other).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Set, Tuple
+
+from ..core.messages import EchoMessage, IdMessage, ReadyMessage
+from ..sim.faults import Adversary
+from ..sim.messages import Message
+from ..sim.process import Outbox
+from .base import per_link_outbox
+
+
+def forge_fake_ids(correct_ids: Sequence[int], count: int, placement: str) -> List[int]:
+    """Fabricate ``count`` fresh ids positioned relative to the correct ones.
+
+    ``placement``:
+      * ``"between"`` — squeezed into the gaps of the sorted correct ids
+        (worst case for rank geometry; falls back to above when gaps run out);
+      * ``"below"`` — all smaller than every correct id (shifts every rank);
+      * ``"above"`` — all larger (stresses the namespace ceiling).
+    """
+    taken: Set[int] = set(correct_ids)
+    ordered = sorted(taken)
+    fakes: List[int] = []
+
+    def take(value: int) -> bool:
+        if value >= 1 and value not in taken:
+            taken.add(value)
+            fakes.append(value)
+            return True
+        return False
+
+    if placement == "below":
+        candidate = min(ordered) - 1
+        while len(fakes) < count and candidate >= 1:
+            take(candidate)
+            candidate -= 1
+    elif placement == "between":
+        for low, high in zip(ordered, ordered[1:]):
+            candidate = low + 1
+            while candidate < high and len(fakes) < count:
+                take(candidate)
+                candidate += 1
+            if len(fakes) >= count:
+                break
+    elif placement != "above":
+        raise ValueError(f"unknown placement {placement!r}")
+    candidate = max(ordered) + 1
+    while len(fakes) < count:
+        take(candidate)
+        candidate += 1
+    return fakes
+
+
+def plan_announcements(
+    fakes: Sequence[int],
+    byzantine: Sequence[int],
+    correct: Sequence[int],
+    quota: int,
+) -> Dict[Tuple[int, int], int]:
+    """Assign each fake id to ``quota`` (slot, correct-peer) announcement pairs.
+
+    Constraints: the peers backing one fake id are distinct (Step-1 support
+    counts distinct correct *receivers*), and each (slot, peer) pair carries
+    at most one fake (one ID message counts per link). Greedy by remaining
+    peer capacity; raises if the caller over-asks, which would mean the
+    Lemma IV.3 budget arithmetic is wrong.
+    """
+    capacity: Dict[int, List[int]] = {peer: list(byzantine) for peer in correct}
+    assignment: Dict[Tuple[int, int], int] = {}
+    for fake in fakes:
+        peers = sorted(capacity, key=lambda p: len(capacity[p]), reverse=True)[:quota]
+        if len(peers) < quota or any(not capacity[p] for p in peers):
+            raise RuntimeError(
+                f"announcement budget exhausted for fake id {fake} "
+                f"(needs {quota} distinct peers)"
+            )
+        for peer in peers:
+            slot = capacity[peer].pop()
+            assignment[(slot, peer)] = fake
+    return assignment
+
+
+class IdForgingAdversary(Adversary):
+    """Drive ``|accepted|`` to its proven maximum at every correct process."""
+
+    def __init__(self, placement: str = "between", count: int = 0) -> None:
+        """``count=0`` means "the maximum the budget allows"."""
+        self._placement = placement
+        self._requested = count
+
+    def bind(self, ctx) -> None:
+        super().bind(ctx)
+        n, t = ctx.n, ctx.t
+        correct = list(ctx.correct)
+        correct_ids = [ctx.ids[i] for i in correct]
+        quota = n - 2 * t
+        budget = (t * (n - t)) // quota if quota > 0 else 0
+        count = budget if self._requested == 0 else min(self._requested, budget)
+        self.fakes = forge_fake_ids(correct_ids, count, self._placement)
+        self._assignment = plan_announcements(self.fakes, ctx.byzantine, correct, quota)
+        self._all_ids = sorted(set(correct_ids) | set(self.fakes))
+
+    def send(self, round_no: int, correct_outboxes: Mapping[int, Outbox]) -> Dict[int, Outbox]:
+        if round_no == 1:
+            return self._announce()
+        if round_no == 2:
+            return self._flood([EchoMessage(i) for i in self._all_ids])
+        if round_no in (3, 4):
+            return self._flood([ReadyMessage(i) for i in self._all_ids])
+        return {}
+
+    def _announce(self) -> Dict[int, Outbox]:
+        outboxes: Dict[int, Outbox] = {}
+        for slot in self.ctx.byzantine:
+            content: Dict[int, List[Message]] = {}
+            for (assigned_slot, peer), fake in self._assignment.items():
+                if assigned_slot == slot:
+                    content[peer] = [IdMessage(fake)]
+            if content:
+                outboxes[slot] = per_link_outbox(
+                    content, sender=slot, topology=self.ctx.topology
+                )
+        return outboxes
+
+    def _flood(self, messages: List[Message]) -> Dict[int, Outbox]:
+        return {
+            slot: {link: list(messages) for link in self.ctx.topology.labels()}
+            for slot in self.ctx.byzantine
+        }

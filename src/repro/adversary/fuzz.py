@@ -1,0 +1,137 @@
+"""Structured adversary fuzzing.
+
+The hand-crafted attacks realise known worst cases; the fuzzer searches for
+*unknown* ones. Per (round, slot, link) it samples one of several behaviour
+atoms — silence, protocol-shaped garbage, replaying a rushing copy of a
+correct message, echoing a previously seen id, forging a fresh id near the
+real ones, or sending a plausible-but-skewed vote built from observed
+traffic. All sampling is seeded, so a property-test failure is a replayable
+counterexample (the seed is the reproducer).
+
+Used by ``tests/test_fuzz_adversary.py`` (hypothesis drives the seeds) and
+available to the CLI as ``--attack fuzz``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Mapping, Optional
+
+from ..core.messages import (
+    EchoMessage,
+    IdMessage,
+    MultiEchoMessage,
+    RanksMessage,
+    ReadyMessage,
+)
+from ..sim.faults import Adversary
+from ..sim.messages import Message
+from ..sim.process import Inbox, Outbox
+
+#: Behaviour atoms the fuzzer samples from, per (round, slot, link).
+ATOMS = (
+    "silence",
+    "own-id",
+    "fake-id",
+    "echo-seen",
+    "ready-seen",
+    "replay",
+    "skewed-vote",
+    "multi-echo",
+)
+
+
+class FuzzAdversary(Adversary):
+    """Seeded random composition of Byzantine behaviour atoms."""
+
+    def __init__(self, intensity: float = 0.8) -> None:
+        """``intensity`` is the probability that a (slot, link) pair acts at
+        all in a given round (the rest stay silent)."""
+        self._intensity = intensity
+
+    def bind(self, ctx) -> None:
+        super().bind(ctx)
+        self._seen_ids: List[int] = sorted(ctx.ids.values())
+        self._seen_votes: List[Mapping[int, object]] = []
+        self._rushed: List[Message] = []
+
+    # -------------------------------------------------------------- observers
+
+    def observe(self, round_no: int, inboxes: Mapping[int, Inbox]) -> None:
+        for inbox in inboxes.values():
+            for messages in inbox.values():
+                for message in messages:
+                    if isinstance(message, (IdMessage, EchoMessage, ReadyMessage)):
+                        if isinstance(message.id, int) and message.id > 0:
+                            self._seen_ids.append(message.id)
+                    elif isinstance(message, RanksMessage):
+                        self._seen_votes.append(message.as_dict())
+        if len(self._seen_ids) > 4 * self.ctx.n:
+            self._seen_ids = self._seen_ids[-4 * self.ctx.n:]
+        if len(self._seen_votes) > self.ctx.n:
+            self._seen_votes = self._seen_votes[-self.ctx.n:]
+
+    # ----------------------------------------------------------------- sender
+
+    def send(self, round_no: int, correct_outboxes: Mapping[int, Outbox]) -> Dict[int, Outbox]:
+        self._rushed = [
+            message
+            for outbox in correct_outboxes.values()
+            for messages in outbox.values()
+            for message in messages
+        ][: 2 * self.ctx.n]
+        outboxes: Dict[int, Outbox] = {}
+        for slot in self.ctx.byzantine:
+            outbox: Outbox = {}
+            for link in self.ctx.topology.labels():
+                if self.ctx.rng.random() > self._intensity:
+                    continue
+                message = self._emit(slot, round_no)
+                if message is not None:
+                    outbox[link] = [message]
+            if outbox:
+                outboxes[slot] = outbox
+        return outboxes
+
+    def _emit(self, slot: int, round_no: int) -> Optional[Message]:
+        rng = self.ctx.rng
+        atom = ATOMS[rng.randrange(len(ATOMS))]
+        if atom == "silence":
+            return None
+        if atom == "own-id":
+            return IdMessage(self.ctx.ids[slot])
+        if atom == "fake-id":
+            return IdMessage(max(self._seen_ids) + rng.randint(1, 50))
+        if atom == "echo-seen":
+            return EchoMessage(rng.choice(self._seen_ids))
+        if atom == "ready-seen":
+            return ReadyMessage(rng.choice(self._seen_ids))
+        if atom == "replay" and self._rushed:
+            return rng.choice(self._rushed)
+        if atom == "skewed-vote":
+            return self._skewed_vote()
+        if atom == "multi-echo":
+            count = rng.randint(0, self.ctx.n)
+            return MultiEchoMessage.from_ids(
+                rng.choice(self._seen_ids) for _ in range(count)
+            )
+        return None
+
+    def _skewed_vote(self) -> Message:
+        """A vote built from observed traffic: either a uniform shift of a
+        real vote (valid) or a fresh δ-spaced layout over seen ids."""
+        rng = self.ctx.rng
+        shift = Fraction(rng.randint(-3 * self.ctx.n, 3 * self.ctx.n), 3)
+        if self._seen_votes and rng.random() < 0.7:
+            base = rng.choice(self._seen_votes)
+            return RanksMessage.from_dict(
+                {identifier: value + shift for identifier, value in base.items()}
+            )
+        distinct = sorted(set(self._seen_ids))[: self.ctx.n + self.ctx.t]
+        spacing = 1 + Fraction(1, 3 * (self.ctx.n + self.ctx.t))
+        return RanksMessage.from_dict(
+            {
+                identifier: shift + position * spacing
+                for position, identifier in enumerate(distinct, start=1)
+            }
+        )

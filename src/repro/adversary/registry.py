@@ -1,0 +1,109 @@
+"""Named adversary registry used by the CLI, tests and benchmarks.
+
+Strategies are registered under short stable names so an experiment sweep can
+say "run Alg. 1 against every registered attack" and stay in sync as attacks
+are added. Factories take no arguments; parameterised variants register
+under distinct names (e.g. ``split-world-half``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..sim.faults import Adversary
+from .aa_attacks import ValueSplitAdversary
+from .base import ConformingAdversary
+from .divergence import AsymmetricForgingAdversary, DivergenceAdversary
+from .equivocation import SplitWorldAdversary
+from .fast_attacks import SelectiveEchoAdversary
+from .forging import IdForgingAdversary
+from .fuzz import FuzzAdversary
+from .passive import CrashAdversary, SilentAdversary
+from .rank_attacks import (
+    BoundaryVoteAdversary,
+    OrderInversionAdversary,
+    RankCompressionAdversary,
+    RankSkewAdversary,
+)
+from .spam import RandomNoiseAdversary, ReplayAdversary
+
+AdversaryFactory = Callable[[], Adversary]
+
+_REGISTRY: Dict[str, AdversaryFactory] = {
+    "silent": SilentAdversary,
+    "conforming": ConformingAdversary,
+    "crash": CrashAdversary,
+    "noise": RandomNoiseAdversary,
+    "replay": ReplayAdversary,
+    "fuzz": FuzzAdversary,
+    "split-world": SplitWorldAdversary,
+    "split-world-half": lambda: SplitWorldAdversary(support="half"),
+    "id-forging": IdForgingAdversary,
+    "id-forging-below": lambda: IdForgingAdversary(placement="below"),
+    "asymmetric-forging": AsymmetricForgingAdversary,
+    "divergence": DivergenceAdversary,
+    "divergence-valid": lambda: DivergenceAdversary(
+        victim_mode="alternate", push_mode="valid-shift"
+    ),
+    "rank-skew": RankSkewAdversary,
+    "rank-compression": RankCompressionAdversary,
+    "order-inversion": OrderInversionAdversary,
+    "boundary-votes": BoundaryVoteAdversary,
+    "selective-echo": SelectiveEchoAdversary,
+    "selective-echo-low": lambda: SelectiveEchoAdversary(target="low-half"),
+    "selective-echo-starve": lambda: SelectiveEchoAdversary(starve=True),
+    "value-split": ValueSplitAdversary,
+}
+
+#: Attacks meaningful against Algorithm 1 (id selection + voting phases).
+ALG1_ATTACKS: List[str] = [
+    "silent",
+    "conforming",
+    "crash",
+    "noise",
+    "replay",
+    "fuzz",
+    "split-world",
+    "split-world-half",
+    "id-forging",
+    "id-forging-below",
+    "asymmetric-forging",
+    "divergence",
+    "divergence-valid",
+    "rank-skew",
+    "rank-compression",
+    "order-inversion",
+    "boundary-votes",
+]
+
+#: Attacks meaningful against Algorithm 4 (2 rounds, echo counting).
+ALG4_ATTACKS: List[str] = [
+    "silent",
+    "conforming",
+    "noise",
+    "replay",
+    "fuzz",
+    "selective-echo",
+    "selective-echo-low",
+    "selective-echo-starve",
+]
+
+
+def register(name: str, factory: AdversaryFactory) -> None:
+    """Add (or replace) a named strategy."""
+    _REGISTRY[name] = factory
+
+
+def make_adversary(name: str) -> Adversary:
+    """Instantiate the strategy registered under ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown adversary {name!r}; known: {known}") from None
+    return factory()
+
+
+def adversary_names() -> List[str]:
+    """All registered strategy names, sorted."""
+    return sorted(_REGISTRY)

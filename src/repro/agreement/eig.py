@@ -1,0 +1,146 @@
+"""Exponential Information Gathering (EIG) interactive consistency.
+
+The classical synchronous Byzantine protocol (Lynch, *Distributed
+Algorithms*, ch. 6; Bar-Noy/Dolev/Dwork/Strong): ``t + 1`` rounds, ``N > 3t``,
+message size exponential in ``t``. Every correct process ends with the *same*
+vector of all processes' input values (correct entries exact, Byzantine
+entries agreed-upon), which makes renaming trivial — and expensive. This is
+the "just use consensus" strawman of the paper's introduction, implemented
+honestly so E7 can price it.
+
+Runs in the identified model (see :mod:`repro.agreement.identity`).
+
+Data layout: the EIG tree is a dict keyed by tuples of distinct process
+indices (paths). ``val[(j,)]`` is what ``j`` claimed as its own value;
+``val[path + (q,)]`` is what ``q`` relayed about ``path``. After round
+``t + 1`` the tree is resolved bottom-up by strict majority with a default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..sim.messages import KIND_BITS, Message
+from ..sim.process import Inbox, Outbox, Process, ProcessContext
+
+#: Value used when a relay is missing or no majority exists.
+DEFAULT_VALUE = 0
+
+Path = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class RelayMessage(Message):
+    """One round's relays: every known (path, value) pair of the last level."""
+
+    entries: Tuple[Tuple[Path, int], ...]
+
+    def bit_size(self, id_bits: int = 64, rank_bits: int = 16) -> int:
+        # Each entry carries a path (rank_bits per hop) and one value.
+        path_bits = sum(rank_bits * len(path) for path, _ in self.entries)
+        return KIND_BITS + path_bits + id_bits * len(self.entries)
+
+
+class EIGInteractiveConsistency(Process):
+    """A correct process running EIG on its input ``value``.
+
+    Output: the agreed vector as a tuple ``(w_0, …, w_{N−1})`` where ``w_j``
+    is the value attributed to process ``j``.
+    """
+
+    def __init__(
+        self,
+        ctx: ProcessContext,
+        my_index: int,
+        link_to_index: Dict[int, int],
+        value: int,
+    ) -> None:
+        super().__init__(ctx)
+        if ctx.n <= 3 * ctx.t:
+            raise ValueError(f"EIG requires N > 3t (n={ctx.n}, t={ctx.t})")
+        self.my_index = my_index
+        self.link_to_index = dict(link_to_index)
+        self.value = int(value)
+        self.rounds = ctx.t + 1
+        self.tree: Dict[Path, int] = {(): self.value}
+
+    # ------------------------------------------------------------------ rounds
+
+    def send(self, round_no: int) -> Outbox:
+        level = round_no - 1
+        entries = tuple(
+            sorted(
+                (path, value)
+                for path, value in self.tree.items()
+                if len(path) == level
+            )
+        )
+        return self.broadcast(RelayMessage(entries=entries))
+
+    def deliver(self, round_no: int, inbox: Inbox) -> None:
+        level = round_no - 1
+        for link in sorted(inbox):
+            sender = self.link_to_index.get(link)
+            if sender is None:
+                continue
+            message = self._first_relay(inbox[link])
+            if message is None:
+                continue
+            for path, value in message.entries:
+                if self._acceptable(path, level, sender) and isinstance(
+                    value, int
+                ):
+                    self.tree[path + (sender,)] = value
+        if round_no == self.rounds:
+            self.output_value = self._resolve_vector()
+
+    @staticmethod
+    def _first_relay(messages) -> Optional[RelayMessage]:
+        for message in messages:
+            if isinstance(message, RelayMessage):
+                return message
+        return None
+
+    def _acceptable(self, path, level: int, sender: int) -> bool:
+        """Well-formedness of a relayed path: right level, distinct indices,
+        sender not already inside (classic EIG pruning)."""
+        if not isinstance(path, tuple) or len(path) != level:
+            return False
+        if any(not isinstance(j, int) or not 0 <= j < self.ctx.n for j in path):
+            return False
+        if len(set(path)) != len(path) or sender in path:
+            return False
+        # The path's own claims must have entered our tree (otherwise the
+        # relay talks about a branch we never saw — treat as missing).
+        return True
+
+    # ----------------------------------------------------------------- resolve
+
+    def _resolve(self, path: Path) -> int:
+        if len(path) == self.rounds:
+            return self.tree.get(path, DEFAULT_VALUE)
+        children = [
+            self._resolve(path + (j,))
+            for j in range(self.ctx.n)
+            if j not in path
+        ]
+        counts: Dict[int, int] = {}
+        for child in children:
+            counts[child] = counts.get(child, 0) + 1
+        best, best_count = DEFAULT_VALUE, 0
+        for value, count in sorted(counts.items()):
+            if count > best_count:
+                best, best_count = value, count
+        if best_count * 2 > len(children):
+            return best
+        return DEFAULT_VALUE
+
+    def _resolve_vector(self) -> Tuple[int, ...]:
+        vector: List[int] = []
+        for j in range(self.ctx.n):
+            if j == self.my_index:
+                vector.append(self.value)
+            else:
+                vector.append(self._resolve((j,)))
+        return tuple(vector)

@@ -1,0 +1,129 @@
+"""Phase-King synchronous Byzantine consensus (Berman–Garay–Perry).
+
+A polynomial-message alternative to EIG: ``t + 1`` phases of two rounds
+each, tolerating ``N > 4t`` in this classic simple form. Included as a
+consensus substrate in its own right (tests exercise agreement/validity) and
+as a second data point for the "consensus costs Ω(t) rounds" comparison the
+paper's introduction makes — the renaming baseline itself uses EIG, which has
+optimal ``N > 3t`` resilience.
+
+Runs in the identified model: the phase-``k`` king is the process with
+global index ``k``.
+
+Each phase ``k = 0..t``:
+
+* **Round A** — everyone broadcasts its current value; each process computes
+  the majority value and its multiplicity.
+* **Round B** — the king broadcasts its majority value. A process keeps its
+  own majority if the multiplicity exceeded ``N/2 + t``; otherwise it adopts
+  the king's value. Since some phase has a correct king and a correct king's
+  phase locks agreement, ``t + 1`` phases suffice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..sim.messages import KIND_BITS, Message
+from ..sim.process import Inbox, Outbox, Process, ProcessContext
+
+
+@dataclass(frozen=True)
+class PhaseValueMessage(Message):
+    """Round-A broadcast of the current estimate."""
+
+    value: int
+
+    def bit_size(self, id_bits: int = 64, rank_bits: int = 16) -> int:
+        return KIND_BITS + id_bits
+
+
+@dataclass(frozen=True)
+class KingMessage(Message):
+    """Round-B tiebreak from the phase king."""
+
+    value: int
+
+    def bit_size(self, id_bits: int = 64, rank_bits: int = 16) -> int:
+        return KIND_BITS + id_bits
+
+
+class PhaseKingConsensus(Process):
+    """A correct process running Phase-King on input ``value`` (``N > 4t``)."""
+
+    def __init__(
+        self,
+        ctx: ProcessContext,
+        my_index: int,
+        link_to_index: Dict[int, int],
+        value: int,
+    ) -> None:
+        super().__init__(ctx)
+        if ctx.n <= 4 * ctx.t:
+            raise ValueError(
+                f"simple Phase-King requires N > 4t (n={ctx.n}, t={ctx.t})"
+            )
+        self.my_index = my_index
+        self.index_of_link = dict(link_to_index)
+        self.value = int(value)
+        self.total_rounds = 2 * (ctx.t + 1)
+        self._majority = self.value
+        self._multiplicity = 0
+
+    # ------------------------------------------------------------------ rounds
+
+    def _phase_and_step(self, round_no: int) -> Tuple[int, int]:
+        """Map a 1-based round onto (phase 0.., step A=0/B=1)."""
+        return (round_no - 1) // 2, (round_no - 1) % 2
+
+    def send(self, round_no: int) -> Outbox:
+        phase, step = self._phase_and_step(round_no)
+        if step == 0:
+            return self.broadcast(PhaseValueMessage(self.value))
+        if self.my_index == phase:
+            return self.broadcast(KingMessage(self._majority))
+        return {}
+
+    def deliver(self, round_no: int, inbox: Inbox) -> None:
+        phase, step = self._phase_and_step(round_no)
+        if step == 0:
+            self._tally(inbox)
+        else:
+            self._arbitrate(phase, inbox)
+            if round_no == self.total_rounds:
+                self.output_value = self.value
+
+    # ------------------------------------------------------------- phase logic
+
+    def _tally(self, inbox: Inbox) -> None:
+        counts: Dict[int, int] = {}
+        for link in sorted(inbox):
+            for message in inbox[link]:
+                if isinstance(message, PhaseValueMessage) and isinstance(
+                    message.value, int
+                ):
+                    counts[message.value] = counts.get(message.value, 0) + 1
+                    break
+        best, best_count = self.value, 0
+        for value, count in sorted(counts.items()):
+            if count > best_count:
+                best, best_count = value, count
+        self._majority, self._multiplicity = best, best_count
+
+    def _arbitrate(self, phase: int, inbox: Inbox) -> None:
+        king_value: Optional[int] = None
+        for link in sorted(inbox):
+            if self.index_of_link.get(link) != phase:
+                continue
+            for message in inbox[link]:
+                if isinstance(message, KingMessage):
+                    king_value = message.value
+                    break
+        threshold = self.ctx.n // 2 + self.ctx.t
+        if self._multiplicity > threshold:
+            self.value = self._majority
+        elif king_value is not None:
+            self.value = king_value
+        else:
+            self.value = self._majority

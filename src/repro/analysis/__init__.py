@@ -1,0 +1,61 @@
+"""Analysis layer: property checking, experiment harness, sweeps, tables."""
+
+from .experiments import (
+    ALGORITHMS,
+    AlgorithmSpec,
+    ExperimentRecord,
+    run_experiment,
+)
+from .charts import bar_chart, decay_ratio, log_curve, step_curve
+from .convergence import (
+    contraction_factors,
+    rank_snapshots,
+    spread_for_ids,
+    spread_series,
+)
+from .export import CSV_FIELDS, export_csv, record_row
+from .properties import PropertyReport, check_renaming
+from .serialization import RunArchive, dump_run, load_run, run_to_dict
+from .stats import Summary, fraction_true, median_of, ratios, summarise
+from .sweep import SweepConfig, group_by, run_sweep
+from .tables import banner, format_table
+from .timeline import render_timeline, summarize_views
+from .verify import ClaimResult, verify_reproduction
+
+__all__ = [
+    "ALGORITHMS",
+    "AlgorithmSpec",
+    "CSV_FIELDS",
+    "ClaimResult",
+    "ExperimentRecord",
+    "PropertyReport",
+    "RunArchive",
+    "Summary",
+    "SweepConfig",
+    "banner",
+    "bar_chart",
+    "check_renaming",
+    "contraction_factors",
+    "decay_ratio",
+    "dump_run",
+    "export_csv",
+    "format_table",
+    "fraction_true",
+    "group_by",
+    "load_run",
+    "log_curve",
+    "median_of",
+    "rank_snapshots",
+    "record_row",
+    "spread_for_ids",
+    "spread_series",
+    "run_to_dict",
+    "step_curve",
+    "verify_reproduction",
+    "ratios",
+    "render_timeline",
+    "run_experiment",
+    "run_sweep",
+    "summarise",
+    "summarize_views",
+]

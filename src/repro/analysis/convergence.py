@@ -1,0 +1,84 @@
+"""Convergence analytics: rank-spread series extracted from run traces.
+
+Lemma IV.8's contraction claim is about the *spread* — the maximum, over
+ids, of the distance between different correct processes' rank estimates.
+Benches (E3/E4), the timeline renderer and several white-box tests all need
+the same extraction; this module is the single implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from ..core.messages import Rank
+
+
+def rank_snapshots(result, round_no: int) -> List[Dict[int, Rank]]:
+    """The ``ranks`` trace events of all correct processes for one round."""
+    if result.trace is None:
+        return []
+    return [
+        event.detail
+        for event in result.trace.select(event="ranks", round_no=round_no)
+        if event.process in result.correct
+    ]
+
+
+def spread_for_ids(
+    snapshots: Sequence[Dict[int, Rank]], ids: Iterable[int]
+) -> Optional[Rank]:
+    """Max over ``ids`` of (max − min) across snapshots; None if nothing is
+    shared by at least two snapshots."""
+    worst: Optional[Rank] = None
+    for identifier in ids:
+        values = [s[identifier] for s in snapshots if identifier in s]
+        if len(values) < 2:
+            continue
+        spread = max(values) - min(values)
+        if worst is None or spread > worst:
+            worst = spread
+    return worst
+
+
+def spread_series(
+    result, ids: Optional[Iterable[int]] = None
+) -> Dict[int, Rank]:
+    """Per-round worst rank spread over ``ids`` (default: the correct ids).
+
+    Keys are round numbers that traced at least two rank snapshots sharing
+    an id; the id-selection round (4) carries the initial spread, the last
+    voting round the final one.
+    """
+    if result.trace is None:
+        return {}
+    if ids is None:
+        ids = {result.ids[i] for i in result.correct}
+    ids = set(ids)
+    series: Dict[int, Rank] = {}
+    for round_no in result.trace.rounds():
+        snapshots = rank_snapshots(result, round_no)
+        if len(snapshots) < 2:
+            continue
+        spread = spread_for_ids(snapshots, ids)
+        if spread is not None:
+            series[round_no] = spread
+    return series
+
+
+def contraction_factors(series: Union[Dict[int, Rank], Sequence[Rank]]) -> List[float]:
+    """Round-over-round contraction factors of a spread series.
+
+    Accepts the dict from :func:`spread_series` (ordered by round) or a
+    plain sequence. A step to zero reports ``inf``.
+    """
+    if isinstance(series, dict):
+        ordered = [series[key] for key in sorted(series)]
+    else:
+        ordered = list(series)
+    factors: List[float] = []
+    for previous, current in zip(ordered, ordered[1:]):
+        if current == 0:
+            factors.append(float("inf"))
+        else:
+            factors.append(float(previous / current))
+    return factors

@@ -1,0 +1,197 @@
+"""Algorithm registry and single-run experiment harness.
+
+Benchmarks, the CLI and integration tests all speak in terms of
+:class:`AlgorithmSpec`: a named algorithm with a factory builder (some
+algorithms need the run's ids/seed, e.g. the identified-model consensus
+baseline), its promised namespace, whether it promises order preservation,
+and which adversary strategies are meaningful against it.
+
+:func:`run_experiment` executes one fully-specified configuration and
+returns an :class:`ExperimentRecord` with outputs, property verdicts and
+traffic metrics — the row format every table in EXPERIMENTS.md is built
+from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..adversary import ALG1_ATTACKS, ALG4_ATTACKS, make_adversary
+from ..baselines import (
+    BitSplitRenaming,
+    FloodSetRenaming,
+    OkunCrashRenaming,
+    TranslatedByzantineRenaming,
+    consensus_renaming_factory,
+)
+from ..core import (
+    ConstantTimeRenaming,
+    OrderPreservingRenaming,
+    SystemParams,
+    TwoStepRenaming,
+)
+from ..sim import RunResult, run_protocol
+from ..sim.process import ProcessContext
+from .properties import PropertyReport, check_renaming
+
+#: Factory builder signature: (n, t, ids, seed) -> run_protocol factory.
+FactoryBuilder = Callable[[int, int, Sequence[int], int], Callable[[ProcessContext], object]]
+
+#: Crash-model strategies, shared by the crash baselines.
+CRASH_ATTACKS = ["silent", "conforming", "crash"]
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """Everything the harness needs to run and judge one algorithm."""
+
+    name: str
+    build_factory: FactoryBuilder
+    namespace: Callable[[SystemParams], int]
+    order_preserving: bool
+    attacks: Sequence[str]
+    regime: Callable[[SystemParams], bool] = lambda params: True
+
+    def supports(self, n: int, t: int) -> bool:
+        """True when (n, t) satisfies the algorithm's resilience condition."""
+        return self.regime(SystemParams(n, t))
+
+
+def _simple(cls) -> FactoryBuilder:
+    return lambda n, t, ids, seed: cls
+
+
+ALGORITHMS: Dict[str, AlgorithmSpec] = {
+    "alg1": AlgorithmSpec(
+        name="alg1",
+        build_factory=_simple(OrderPreservingRenaming),
+        namespace=lambda p: p.namespace_bound,
+        order_preserving=True,
+        attacks=ALG1_ATTACKS,
+        regime=lambda p: p.tolerates_byzantine,
+    ),
+    "alg1-constant": AlgorithmSpec(
+        name="alg1-constant",
+        build_factory=_simple(ConstantTimeRenaming),
+        namespace=lambda p: p.strong_namespace,
+        order_preserving=True,
+        attacks=ALG1_ATTACKS,
+        regime=lambda p: p.in_constant_time_regime,
+    ),
+    "alg4": AlgorithmSpec(
+        name="alg4",
+        build_factory=_simple(TwoStepRenaming),
+        namespace=lambda p: p.fast_namespace_bound,
+        order_preserving=True,
+        attacks=ALG4_ATTACKS,
+        regime=lambda p: p.in_fast_regime,
+    ),
+    "okun-crash": AlgorithmSpec(
+        name="okun-crash",
+        build_factory=_simple(OkunCrashRenaming),
+        namespace=lambda p: p.n,
+        order_preserving=True,
+        attacks=CRASH_ATTACKS,
+    ),
+    "cht": AlgorithmSpec(
+        name="cht",
+        # Probing under crashes may overflow the tight namespace by at most
+        # the number of faults — the promise checked is N + t.
+        build_factory=_simple(BitSplitRenaming),
+        namespace=lambda p: p.n + p.t,
+        order_preserving=False,
+        attacks=CRASH_ATTACKS,
+    ),
+    "floodset": AlgorithmSpec(
+        name="floodset",
+        build_factory=_simple(FloodSetRenaming),
+        namespace=lambda p: p.n,
+        order_preserving=True,
+        attacks=CRASH_ATTACKS,
+    ),
+    "translated": AlgorithmSpec(
+        name="translated",
+        build_factory=_simple(TranslatedByzantineRenaming),
+        namespace=lambda p: 2 * p.n,
+        order_preserving=False,
+        attacks=CRASH_ATTACKS,
+        regime=lambda p: p.tolerates_byzantine,
+    ),
+    "consensus": AlgorithmSpec(
+        name="consensus",
+        build_factory=lambda n, t, ids, seed: consensus_renaming_factory(n, ids, seed),
+        namespace=lambda p: p.n,
+        order_preserving=True,
+        attacks=ALG1_ATTACKS,
+        regime=lambda p: p.tolerates_byzantine,
+    ),
+}
+
+
+@dataclass
+class ExperimentRecord:
+    """One run's outcome in table-row form."""
+
+    algorithm: str
+    n: int
+    t: int
+    attack: str
+    seed: int
+    rounds: int
+    correct_messages: int
+    correct_bits: int
+    peak_message_bits: int
+    report: PropertyReport
+    result: RunResult
+
+    @property
+    def max_name(self) -> int:
+        return max(self.report.names.values()) if self.report.names else 0
+
+
+def run_experiment(
+    algorithm: str,
+    n: int,
+    t: int,
+    ids: Sequence[int],
+    attack: str = "silent",
+    seed: int = 0,
+    collect_trace: bool = False,
+    namespace: Optional[int] = None,
+    max_rounds: int = 1000,
+) -> ExperimentRecord:
+    """Execute one configuration and judge it.
+
+    ``namespace`` overrides the algorithm's promised bound (used when probing
+    slack applies); everything else comes from :data:`ALGORITHMS`.
+    """
+    spec = ALGORITHMS[algorithm]
+    params = SystemParams(n, t)
+    factory = spec.build_factory(n, t, ids, seed)
+    adversary = make_adversary(attack) if t > 0 else None
+    result = run_protocol(
+        factory,
+        n=n,
+        t=t,
+        ids=ids,
+        adversary=adversary,
+        seed=seed,
+        collect_trace=collect_trace,
+        max_rounds=max_rounds,
+    )
+    bound = spec.namespace(params) if namespace is None else namespace
+    report = check_renaming(result, bound)
+    return ExperimentRecord(
+        algorithm=algorithm,
+        n=n,
+        t=t,
+        attack=attack,
+        seed=seed,
+        rounds=result.metrics.round_count,
+        correct_messages=result.metrics.correct_messages,
+        correct_bits=result.metrics.correct_bits,
+        peak_message_bits=result.metrics.peak_message_bits,
+        report=report,
+        result=result,
+    )

@@ -1,0 +1,68 @@
+"""CSV export of experiment sweeps.
+
+The benchmark harness prints ASCII tables; downstream users who want to
+plot or post-process sweep results get a stable CSV schema instead. One row
+per run, flat columns, loadable by pandas/R/spreadsheets without adapters.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from .experiments import ExperimentRecord
+
+#: Column order of the CSV schema (stable; append-only by policy).
+CSV_FIELDS: List[str] = [
+    "algorithm",
+    "n",
+    "t",
+    "attack",
+    "seed",
+    "rounds",
+    "correct_messages",
+    "correct_bits",
+    "peak_message_bits",
+    "max_name",
+    "validity",
+    "termination",
+    "uniqueness",
+    "order_preservation",
+    "violations",
+]
+
+
+def record_row(record: ExperimentRecord) -> List[object]:
+    """Flatten one experiment record into the CSV schema."""
+    report = record.report
+    return [
+        record.algorithm,
+        record.n,
+        record.t,
+        record.attack,
+        record.seed,
+        record.rounds,
+        record.correct_messages,
+        record.correct_bits,
+        record.peak_message_bits,
+        record.max_name,
+        int(report.validity),
+        int(report.termination),
+        int(report.uniqueness),
+        int(report.order_preservation),
+        "; ".join(report.violations),
+    ]
+
+
+def export_csv(
+    records: Iterable[ExperimentRecord], path: Union[str, Path]
+) -> Path:
+    """Write records to ``path`` as CSV; returns the path written."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(CSV_FIELDS)
+        for record in records:
+            writer.writerow(record_row(record))
+    return path

@@ -1,0 +1,95 @@
+"""Machine-checkable verdicts for the renaming properties (Section II).
+
+Every experiment and test funnels run outputs through
+:func:`check_renaming`, which evaluates the four properties of the problem
+definition against a run's outputs and reports precise violations — so a
+failing property names the offending ids and names instead of a bare False.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..sim.runner import RunResult
+
+
+@dataclass
+class PropertyReport:
+    """Outcome of checking one run against the renaming specification."""
+
+    names: Dict[int, int]
+    namespace: int
+    validity: bool = True
+    termination: bool = True
+    uniqueness: bool = True
+    order_preservation: bool = True
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """All four properties hold."""
+        return (
+            self.validity
+            and self.termination
+            and self.uniqueness
+            and self.order_preservation
+        )
+
+    def ok_without_order(self) -> bool:
+        """The three properties every renaming algorithm must satisfy
+        (baselines like [15] do not promise order preservation)."""
+        return self.validity and self.termination and self.uniqueness
+
+    def __str__(self) -> str:
+        if self.ok:
+            return f"OK (names in [1..{self.namespace}])"
+        return "; ".join(self.violations)
+
+
+def check_renaming(
+    result: RunResult, namespace: int, expected_count: int = None
+) -> PropertyReport:
+    """Evaluate the renaming properties on a finished run.
+
+    ``namespace`` is the target namespace size ``M`` the algorithm promises.
+    ``expected_count`` defaults to the number of correct processes and exists
+    for tests that deliberately run partial populations.
+    """
+    names = result.new_names()
+    report = PropertyReport(names=names, namespace=namespace)
+
+    expected = len(result.correct) if expected_count is None else expected_count
+    if len(names) != expected:
+        report.termination = False
+        report.violations.append(
+            f"termination: {len(names)} of {expected} correct processes decided"
+        )
+
+    for original, name in sorted(names.items()):
+        if not isinstance(name, int) or not 1 <= name <= namespace:
+            report.validity = False
+            report.violations.append(
+                f"validity: id {original} got name {name!r} outside [1..{namespace}]"
+            )
+
+    by_name: Dict[int, List[int]] = {}
+    for original, name in names.items():
+        by_name.setdefault(name, []).append(original)
+    for name, originals in sorted(by_name.items()):
+        if len(originals) > 1:
+            report.uniqueness = False
+            report.violations.append(
+                f"uniqueness: ids {sorted(originals)} all got name {name}"
+            )
+
+    ordered = sorted(names)
+    for smaller, larger in zip(ordered, ordered[1:]):
+        if names[smaller] >= names[larger]:
+            report.order_preservation = False
+            report.violations.append(
+                f"order: id {smaller} -> {names[smaller]} but id {larger} -> "
+                f"{names[larger]}"
+            )
+
+    return report

@@ -1,0 +1,199 @@
+"""Run serialization: persist results and traces as JSON for offline work.
+
+A run is fully determined by its configuration, but re-running a large
+sweep to re-inspect one trace is wasteful; `dump_run`/`load_run` archive
+everything observable about a run (outputs, metrics, Byzantine slots, the
+trace) in a stable JSON schema. Rank values are ``Fraction``s, which JSON
+lacks — they round-trip as ``{"num": ..., "den": ...}`` objects.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from ..sim.runner import RunResult
+
+#: Schema version written into every dump.
+SCHEMA_VERSION = 1
+
+
+def _encode(value: Any) -> Any:
+    if isinstance(value, Fraction):
+        return {"__fraction__": True, "num": value.numerator, "den": value.denominator}
+    if isinstance(value, (frozenset, set, tuple)):
+        return [_encode(item) for item in value]
+    if isinstance(value, dict):
+        # JSON object keys must be strings; tag int keys for round-tripping.
+        return {
+            "__dict__": True,
+            "items": [[_encode(k), _encode(v)] for k, v in value.items()],
+        }
+    if isinstance(value, list):
+        return [_encode(item) for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return {"__repr__": repr(value)}
+
+
+def _decode(value: Any) -> Any:
+    if isinstance(value, dict):
+        if value.get("__fraction__"):
+            return Fraction(value["num"], value["den"])
+        if value.get("__dict__"):
+            return {_decode(k): _decode(v) for k, v in value["items"]}
+        if "__repr__" in value:
+            return value["__repr__"]
+        return {k: _decode(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode(item) for item in value]
+    return value
+
+
+def run_to_dict(result: RunResult) -> Dict[str, Any]:
+    """The JSON-ready representation of a finished run."""
+    payload: Dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "n": result.n,
+        "t": result.t,
+        "byzantine": list(result.byzantine),
+        "ids": {str(index): identifier for index, identifier in result.ids.items()},
+        "outputs": {
+            str(index): _encode(output) for index, output in result.outputs.items()
+        },
+        "metrics": {
+            "id_bits": result.metrics.id_bits,
+            "rank_bits": result.metrics.rank_bits,
+            "peak_message_bits": result.metrics.peak_message_bits,
+            "rounds": [
+                {
+                    "round": record.round_no,
+                    "correct_messages": record.correct_messages,
+                    "correct_bits": record.correct_bits,
+                    "byzantine_messages": record.byzantine_messages,
+                }
+                for record in result.metrics.rounds
+            ],
+        },
+    }
+    if result.trace is not None:
+        payload["trace"] = [
+            {
+                "process": event.process,
+                "round": event.round_no,
+                "event": event.event,
+                "detail": _encode(event.detail),
+            }
+            for event in result.trace
+        ]
+    return payload
+
+
+def dump_run(result: RunResult, path: Union[str, Path]) -> Path:
+    """Write a run archive; returns the path written."""
+    path = Path(path)
+    path.write_text(json.dumps(run_to_dict(result), indent=1, sort_keys=True))
+    return path
+
+
+class RunArchive:
+    """Read-only view over a dumped run: the subset of the
+    :class:`RunResult` API that analysis code uses offline."""
+
+    def __init__(self, payload: Dict[str, Any]) -> None:
+        if payload.get("schema") != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported archive schema {payload.get('schema')!r}"
+            )
+        self.n: int = payload["n"]
+        self.t: int = payload["t"]
+        self.byzantine = tuple(payload["byzantine"])
+        self.ids = {int(k): v for k, v in payload["ids"].items()}
+        self.outputs = {int(k): _decode(v) for k, v in payload["outputs"].items()}
+        self.metrics = payload["metrics"]
+        self.trace = [
+            {
+                "process": event["process"],
+                "round": event["round"],
+                "event": event["event"],
+                "detail": _decode(event["detail"]),
+            }
+            for event in payload.get("trace", [])
+        ]
+
+    @property
+    def correct(self):
+        byz = set(self.byzantine)
+        return tuple(i for i in range(self.n) if i not in byz)
+
+    def outputs_by_id(self):
+        return {self.ids[i]: self.outputs[i] for i in self.correct}
+
+    def new_names(self):
+        return {
+            original: output
+            for original, output in self.outputs_by_id().items()
+            if isinstance(output, int)
+        }
+
+    def as_result_view(self) -> "_ArchivedResultView":
+        """A live-result-compatible view for offline analysis.
+
+        Reconstructs :class:`~repro.sim.metrics.RunMetrics` and
+        :class:`~repro.sim.trace.TraceRecorder` objects from the archive so
+        the timeline renderer, convergence analytics and view summaries work
+        on archived runs exactly as on live ones (``repro-renaming replay``).
+        """
+        return _ArchivedResultView(self)
+
+
+class _ArchivedResultView:
+    """Duck-typed stand-in for a RunResult, backed by an archive."""
+
+    def __init__(self, archive: "RunArchive") -> None:
+        from ..sim.metrics import RoundMetrics, RunMetrics
+        from ..sim.trace import TraceRecorder
+
+        self.n = archive.n
+        self.t = archive.t
+        self.byzantine = archive.byzantine
+        self.ids = archive.ids
+        self.outputs = archive.outputs
+        self.correct = archive.correct
+        self.metrics = RunMetrics(
+            id_bits=archive.metrics["id_bits"],
+            rank_bits=archive.metrics["rank_bits"],
+            peak_message_bits=archive.metrics["peak_message_bits"],
+            rounds=[
+                RoundMetrics(
+                    round_no=record["round"],
+                    correct_messages=record["correct_messages"],
+                    correct_bits=record["correct_bits"],
+                    byzantine_messages=record["byzantine_messages"],
+                )
+                for record in archive.metrics["rounds"]
+            ],
+        )
+        self.trace = TraceRecorder() if archive.trace else None
+        if self.trace is not None:
+            for event in archive.trace:
+                self.trace.bind(event["process"])(
+                    event["round"], event["event"], event["detail"]
+                )
+
+    def outputs_by_id(self):
+        return {self.ids[i]: self.outputs[i] for i in self.correct}
+
+    def new_names(self):
+        return {
+            original: output
+            for original, output in self.outputs_by_id().items()
+            if isinstance(output, int)
+        }
+
+
+def load_run(path: Union[str, Path]) -> RunArchive:
+    """Load a run archive written by :func:`dump_run`."""
+    return RunArchive(json.loads(Path(path).read_text()))

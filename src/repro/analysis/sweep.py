@@ -1,0 +1,75 @@
+"""Parameter sweeps: grids of (algorithm × (n, t) × attack × seed) runs.
+
+Benchmarks express each experiment as a sweep plus an aggregation; this
+module owns the iteration and record collection so each bench file is just
+"define the grid, aggregate the rows, print the table".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from ..workloads.ids import make_ids
+from .experiments import ALGORITHMS, ExperimentRecord, run_experiment
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """A grid of experiment configurations.
+
+    ``sizes`` are (n, t) pairs; configurations an algorithm's resilience
+    condition rejects are skipped (a sweep over mixed regimes is normal).
+    """
+
+    algorithms: Sequence[str]
+    sizes: Sequence[Tuple[int, int]]
+    attacks: Sequence[str] = ("silent",)
+    seeds: Sequence[int] = (0,)
+    workload: str = "uniform"
+    collect_trace: bool = False
+    max_rounds: int = 1000
+
+    def configurations(self) -> Iterator[Tuple[str, int, int, str, int]]:
+        """Yield runnable (algorithm, n, t, attack, seed) tuples."""
+        for algorithm in self.algorithms:
+            spec = ALGORITHMS[algorithm]
+            for n, t in self.sizes:
+                if not spec.supports(n, t):
+                    continue
+                for attack in self.attacks:
+                    if attack not in spec.attacks:
+                        continue
+                    for seed in self.seeds:
+                        yield algorithm, n, t, attack, seed
+
+
+def run_sweep(config: SweepConfig) -> List[ExperimentRecord]:
+    """Execute every configuration in the grid."""
+    records: List[ExperimentRecord] = []
+    for algorithm, n, t, attack, seed in config.configurations():
+        ids = make_ids(config.workload, n, seed=seed)
+        records.append(
+            run_experiment(
+                algorithm,
+                n,
+                t,
+                ids,
+                attack=attack,
+                seed=seed,
+                collect_trace=config.collect_trace,
+                max_rounds=config.max_rounds,
+            )
+        )
+    return records
+
+
+def group_by(
+    records: Iterable[ExperimentRecord], *keys: str
+) -> Dict[Tuple, List[ExperimentRecord]]:
+    """Group records by attribute names, preserving insertion order."""
+    groups: Dict[Tuple, List[ExperimentRecord]] = {}
+    for record in records:
+        group_key = tuple(getattr(record, key) for key in keys)
+        groups.setdefault(group_key, []).append(record)
+    return groups

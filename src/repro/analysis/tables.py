@@ -1,0 +1,65 @@
+"""ASCII table rendering for the benchmark harness.
+
+The paper has no numeric tables of its own (it is a theory paper), so the
+benchmarks print *our* tables — paper claim vs measured — in a fixed format
+that EXPERIMENTS.md quotes. One renderer keeps every experiment's output
+uniform and diff-able.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a monospace table with a header rule.
+
+    Cells are stringified with ``str``; numeric alignment is right for
+    ints/floats, left for everything else.
+    """
+    materialised: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    numeric = _numeric_columns(headers, materialised)
+    widths = [len(header) for header in headers]
+    for row in materialised:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = []
+        for column, cell in enumerate(cells):
+            if numeric[column]:
+                parts.append(cell.rjust(widths[column]))
+            else:
+                parts.append(cell.ljust(widths[column]))
+        return "  ".join(parts).rstrip()
+
+    lines = [render_row(list(headers))]
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in materialised)
+    return "\n".join(lines)
+
+
+def _numeric_columns(headers: Sequence[str], rows: List[List[str]]) -> List[bool]:
+    flags = []
+    for column in range(len(headers)):
+        cells = [row[column] for row in rows if column < len(row)]
+        flags.append(bool(cells) and all(_looks_numeric(cell) for cell in cells))
+    return flags
+
+
+def _looks_numeric(cell: str) -> bool:
+    try:
+        float(cell.rstrip("x%"))
+    except ValueError:
+        return False
+    return True
+
+
+def banner(title: str) -> str:
+    """Section banner used between experiment tables."""
+    rule = "=" * max(len(title), 8)
+    return f"\n{rule}\n{title}\n{rule}"

@@ -1,0 +1,117 @@
+"""Translated-Byzantine renaming baseline ([15], cost-envelope reproduction).
+
+Okun, Barak & Gafni [15] obtain Byzantine renaming by pushing the
+crash-tolerant bit-split algorithm of [6] through the automatic
+crash→Byzantine translations of [3, 13]. The observable costs of the result
+— the quantities this paper compares against — are:
+
+* namespace doubled to ``2N`` (Byzantine processes can make different
+  correct processes see different id sets, and the translation cannot
+  collapse them);
+* order preservation lost;
+* ``O(log N)`` communication steps of echo-heavy messages;
+* resilience ``N > 3t``.
+
+Reproducing the *translation machinery itself* (consistent-history echoing
+of [3, 13]) is out of scope — it is a paper-sized system of its own; per
+DESIGN.md §6 we reproduce the translated algorithm's **cost envelope**
+faithfully instead: the Byzantine-tolerant 4-step id-selection phase (which
+bounds forged ids exactly as the translation's reliable-broadcast layer
+does) feeds the bit-split engine over a ``2N`` namespace, with each split
+level costing two rounds (claim + echo) to account for the translation's
+echo overhead. Runs are meaningful under omission-style adversaries
+(silent/crash/conforming); the full [15] construction would also withstand
+active equivocation during the split phase, which this envelope does not
+re-implement — benchmarks E7 compare all algorithms under the same
+omission adversaries, which is conservative *in favour of* this baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.id_selection import ID_SELECTION_STEPS, IdSelectionPhase
+from ..sim.process import Inbox, Outbox, Process, ProcessContext
+from .splitting import ClaimMessage, IntervalSplitter, interval_rounds
+
+
+class TranslatedByzantineRenaming(Process):
+    """Id selection (4 rounds) + echo-weighted bit split over ``[1..2N]``."""
+
+    def __init__(self, ctx: ProcessContext, extra_rounds: Optional[int] = None) -> None:
+        super().__init__(ctx)
+        if ctx.n <= 3 * ctx.t:
+            raise ValueError(
+                f"translated renaming requires N > 3t (n={ctx.n}, t={ctx.t})"
+            )
+        self.namespace = 2 * ctx.n
+        self.selection = IdSelectionPhase(ctx.n, ctx.t, ctx.my_id)
+        self.splitter: Optional[IntervalSplitter] = None
+        probe_budget = ctx.n if extra_rounds is None else extra_rounds
+        # Two rounds per split level: the claim round plus the translation's
+        # echo round (modelled as a repeat of the claim).
+        self.horizon = (
+            ID_SELECTION_STEPS + 2 * interval_rounds(self.namespace) + probe_budget
+        )
+        self._settled_round: Optional[int] = None
+
+    # ------------------------------------------------------------------ rounds
+
+    def send(self, round_no: int) -> Outbox:
+        if round_no <= ID_SELECTION_STEPS:
+            return self.broadcast(*self.selection.messages_for_step(round_no))
+        assert self.splitter is not None
+        lo, hi = self.splitter.claim()
+        return self.broadcast(ClaimMessage(self.ctx.my_id, lo, hi))
+
+    def deliver(self, round_no: int, inbox: Inbox) -> None:
+        if round_no <= ID_SELECTION_STEPS:
+            self.selection.deliver_step(round_no, inbox)
+            if round_no == ID_SELECTION_STEPS:
+                self.splitter = IntervalSplitter(self.ctx.my_id, self.namespace)
+            return
+        assert self.splitter is not None
+        # Echo round of each level: claims are re-broadcast; resolving on
+        # every round (claim and echo alike) keeps the engine simple and
+        # charges the translation's 2x round cost.
+        split_round = round_no - ID_SELECTION_STEPS
+        rivals = self._rival_ids(inbox)
+        already = self.splitter.decided
+        if split_round % 2 == 0:
+            self.splitter.resolve(rivals)
+        if self.splitter.decided is not None and already is None:
+            self._settled_round = round_no
+            self.ctx.log(round_no, "settled", self.splitter.decided)
+        if round_no == self.horizon:
+            self._finish(round_no)
+
+    def _rival_ids(self, inbox: Inbox):
+        assert self.splitter is not None
+        lo, hi = self.splitter.claim()
+        accepted = self.selection.accepted
+        rivals = []
+        for link in sorted(inbox):
+            for message in inbox[link]:
+                if (
+                    isinstance(message, ClaimMessage)
+                    and message.lo == lo
+                    and message.hi == hi
+                    and message.id in accepted
+                ):
+                    rivals.append(message.id)
+                    break
+        return rivals
+
+    def _finish(self, round_no: int) -> None:
+        assert self.splitter is not None
+        if self.splitter.decided is not None:
+            self.output_value = self.splitter.decided
+            return
+        lo, _ = self.splitter.claim()
+        self.output_value = lo
+        self.ctx.log(round_no, "settled", lo)
+
+    @property
+    def settled_round(self) -> Optional[int]:
+        """Round at which this process's name became uncontested."""
+        return self._settled_round

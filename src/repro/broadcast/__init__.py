@@ -1,0 +1,21 @@
+"""Reliable broadcast substrate (Bracha & Toueg [4], synchronous form)."""
+
+from .bracha import (
+    NO_DELIVERY,
+    RELIABLE_BROADCAST_ROUNDS,
+    EchoValueMessage,
+    InitialMessage,
+    ReadyValueMessage,
+    ReliableBroadcast,
+    make_rb_factory,
+)
+
+__all__ = [
+    "EchoValueMessage",
+    "InitialMessage",
+    "NO_DELIVERY",
+    "RELIABLE_BROADCAST_ROUNDS",
+    "ReadyValueMessage",
+    "ReliableBroadcast",
+    "make_rb_factory",
+]

@@ -1,0 +1,325 @@
+"""Command-line driver: run any algorithm × attack × (N, t) from a shell.
+
+Examples::
+
+    repro-renaming list
+    repro-renaming run --algorithm alg1 --n 7 --t 2 --attack id-forging
+    repro-renaming run --algorithm alg4 --n 11 --t 2 --attack selective-echo
+    repro-renaming scenario saturation
+    repro-renaming sweep --algorithms alg1 alg4 --sizes 7:2 11:2 --attacks silent noise
+    repro-renaming inspect --algorithm alg1 --n 7 --t 2 --attack divergence
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Tuple
+
+from .adversary import adversary_names
+from .analysis import (
+    ALGORITHMS,
+    SweepConfig,
+    format_table,
+    group_by,
+    render_timeline,
+    run_experiment,
+    run_sweep,
+    summarize_views,
+)
+from .workloads import get_scenario, make_ids, scenario_names, workload_names
+
+
+def _parse_size(text: str) -> Tuple[int, int]:
+    try:
+        n_text, t_text = text.split(":")
+        return int(n_text), int(t_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"sizes are N:T pairs like 7:2, got {text!r}"
+        ) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-renaming",
+        description=(
+            "Order-preserving Byzantine renaming (Denysyuk & Rodrigues, "
+            "ICDCS 2013) — reproduction driver."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list algorithms, attacks, workloads, scenarios")
+
+    run = commands.add_parser("run", help="execute one configuration")
+    run.add_argument("--algorithm", required=True, choices=sorted(ALGORITHMS))
+    run.add_argument("--n", type=int, required=True, help="number of processes")
+    run.add_argument("--t", type=int, required=True, help="fault bound")
+    run.add_argument("--attack", default="silent", choices=adversary_names())
+    run.add_argument("--workload", default="uniform", choices=workload_names())
+    run.add_argument("--seed", type=int, default=0)
+
+    scenario = commands.add_parser("scenario", help="execute a canned scenario")
+    scenario.add_argument("name", choices=scenario_names())
+    scenario.add_argument("--algorithm", default="alg1", choices=sorted(ALGORITHMS))
+    scenario.add_argument("--seed", type=int, default=0)
+
+    commands.add_parser(
+        "verify",
+        help="condensed one-command check of every reproduced claim",
+    )
+
+    bounds = commands.add_parser(
+        "bounds", help="print every closed-form bound for given (N, t) sizes"
+    )
+    bounds.add_argument("sizes", nargs="+", type=_parse_size, metavar="N:T")
+
+    inspect = commands.add_parser(
+        "inspect", help="run one configuration with tracing and show a timeline"
+    )
+    inspect.add_argument("--algorithm", required=True, choices=sorted(ALGORITHMS))
+    inspect.add_argument("--n", type=int, required=True)
+    inspect.add_argument("--t", type=int, required=True)
+    inspect.add_argument("--attack", default="silent", choices=adversary_names())
+    inspect.add_argument("--workload", default="uniform", choices=workload_names())
+    inspect.add_argument("--seed", type=int, default=0)
+    inspect.add_argument(
+        "--save", metavar="PATH", default=None,
+        help="archive the traced run as JSON for offline analysis",
+    )
+
+    replay = commands.add_parser(
+        "replay", help="re-render the timeline of an archived run"
+    )
+    replay.add_argument("path", help="JSON archive written by inspect --save")
+
+    sweep = commands.add_parser("sweep", help="run a configuration grid")
+    sweep.add_argument("--algorithms", nargs="+", required=True, choices=sorted(ALGORITHMS))
+    sweep.add_argument("--sizes", nargs="+", type=_parse_size, required=True,
+                       metavar="N:T")
+    sweep.add_argument("--attacks", nargs="+", default=["silent"],
+                       choices=adversary_names())
+    sweep.add_argument("--seeds", nargs="+", type=int, default=[0])
+    sweep.add_argument("--workload", default="uniform", choices=workload_names())
+    sweep.add_argument(
+        "--csv", metavar="PATH", default=None,
+        help="also write one CSV row per run to PATH",
+    )
+    return parser
+
+
+def _print_record(record) -> None:
+    report = record.report
+    print(
+        format_table(
+            ["algorithm", "n", "t", "attack", "rounds", "messages", "kbits",
+             "max name", "properties"],
+            [[
+                record.algorithm,
+                record.n,
+                record.t,
+                record.attack,
+                record.rounds,
+                record.correct_messages,
+                record.correct_bits // 1000,
+                record.max_name,
+                "OK" if report.ok else "; ".join(report.violations),
+            ]],
+        )
+    )
+    print("\nnew names (original -> new):")
+    for original, name in sorted(report.names.items()):
+        print(f"  {original:>8} -> {name}")
+
+
+def cmd_list() -> int:
+    print("algorithms:", ", ".join(sorted(ALGORITHMS)))
+    print("attacks:   ", ", ".join(adversary_names()))
+    print("workloads: ", ", ".join(workload_names()))
+    print("scenarios: ", ", ".join(scenario_names()))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    ids = make_ids(args.workload, args.n, seed=args.seed)
+    record = run_experiment(
+        args.algorithm, args.n, args.t, ids, attack=args.attack, seed=args.seed
+    )
+    _print_record(record)
+    return 0 if record.report.ok_without_order() else 1
+
+
+def cmd_scenario(args: argparse.Namespace) -> int:
+    scenario = get_scenario(args.name)
+    print(f"{scenario.name}: {scenario.description}")
+    ids = make_ids(scenario.workload, scenario.n, seed=args.seed)
+    record = run_experiment(
+        args.algorithm,
+        scenario.n,
+        scenario.t,
+        ids,
+        attack=scenario.attack,
+        seed=args.seed,
+    )
+    _print_record(record)
+    return 0 if record.report.ok_without_order() else 1
+
+
+def cmd_verify() -> int:
+    from .analysis import verify_reproduction
+
+    results = verify_reproduction()
+    for claim in results:
+        print(claim.line())
+    failed = [claim for claim in results if not claim.passed]
+    print(
+        f"\n{len(results) - len(failed)}/{len(results)} claims verified"
+        + ("" if not failed else " — REPRODUCTION BROKEN")
+    )
+    return 1 if failed else 0
+
+
+def cmd_bounds(args: argparse.Namespace) -> int:
+    from .core import SystemParams
+
+    rows = []
+    for n, t in args.sizes:
+        params = SystemParams(n, t)
+        regimes = []
+        if params.tolerates_byzantine:
+            regimes.append("N>3t")
+        if params.in_constant_time_regime:
+            regimes.append("N>t^2+2t")
+        if params.in_fast_regime:
+            regimes.append("N>2t^2+t")
+        rows.append([
+            n,
+            t,
+            " ".join(regimes) or "none",
+            params.total_rounds if params.tolerates_byzantine else "-",
+            params.namespace_bound if params.tolerates_byzantine else "-",
+            params.accepted_bound if n > 2 * t else "-",
+            f"{params.sigma}/{params.realized_sigma}" if t else "-",
+            str(params.delta),
+        ])
+    print(
+        format_table(
+            ["n", "t", "regimes", "alg1 rounds", "namespace", "|accepted| bound",
+             "sigma paper/real", "delta"],
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    ids = make_ids(args.workload, args.n, seed=args.seed)
+    record = run_experiment(
+        args.algorithm,
+        args.n,
+        args.t,
+        ids,
+        attack=args.attack,
+        seed=args.seed,
+        collect_trace=True,
+    )
+    print(render_timeline(record.result))
+    views = summarize_views(record.result)
+    if views is not None:
+        print("\naccepted-set views:\n" + views)
+    report = record.report
+    print(f"\nproperties: {'OK' if report.ok else '; '.join(report.violations)}")
+    if args.save is not None:
+        from .analysis import dump_run
+
+        path = dump_run(record.result, args.save)
+        print(f"run archived to {path}")
+    return 0 if report.ok_without_order() else 1
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    from .analysis import load_run, summarize_views
+
+    view = load_run(args.path).as_result_view()
+    print(render_timeline(view))
+    views = summarize_views(view)
+    if views is not None:
+        print("\naccepted-set views:\n" + views)
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    config = SweepConfig(
+        algorithms=args.algorithms,
+        sizes=args.sizes,
+        attacks=args.attacks,
+        seeds=args.seeds,
+        workload=args.workload,
+    )
+    records = run_sweep(config)
+    rows = []
+    for (algorithm, n, t, attack), group in group_by(
+        records, "algorithm", "n", "t", "attack"
+    ).items():
+        rows.append([
+            algorithm,
+            n,
+            t,
+            attack,
+            max(r.rounds for r in group),
+            max(r.max_name for r in group),
+            sum(1 for r in group if r.report.ok_without_order()),
+            len(group),
+        ])
+    print(
+        format_table(
+            ["algorithm", "n", "t", "attack", "rounds", "max name", "ok", "runs"],
+            rows,
+        )
+    )
+    if args.csv is not None:
+        from .analysis import export_csv
+
+        path = export_csv(records, args.csv)
+        print(f"\n{len(records)} rows written to {path}")
+    bad = [r for r in records if not r.report.ok_without_order()]
+    return 1 if bad else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    try:
+        return _dispatch(build_parser().parse_args(argv))
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        import os
+
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "list":
+        return cmd_list()
+    if args.command == "run":
+        return cmd_run(args)
+    if args.command == "scenario":
+        return cmd_scenario(args)
+    if args.command == "verify":
+        return cmd_verify()
+    if args.command == "bounds":
+        return cmd_bounds(args)
+    if args.command == "inspect":
+        return cmd_inspect(args)
+    if args.command == "replay":
+        return cmd_replay(args)
+    if args.command == "sweep":
+        return cmd_sweep(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

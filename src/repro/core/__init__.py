@@ -1,0 +1,68 @@
+"""The paper's contribution: order-preserving Byzantine renaming.
+
+* :class:`OrderPreservingRenaming` — Algorithm 1 (``N > 3t``, namespace
+  ``N+t−1``, ``3⌈log₂ t⌉+7`` rounds).
+* :class:`ConstantTimeRenaming` — Section V variant (``N > t²+2t``, namespace
+  ``N``, 8 rounds).
+* :class:`TwoStepRenaming` — Algorithm 4 (``N > 2t²+t``, namespace ``N²``,
+  2 rounds).
+* :class:`SystemParams` — every closed-form bound from the analysis.
+* Building blocks: :class:`IdSelectionPhase`, :func:`is_valid_ranks`,
+  :func:`approximate`, :func:`select_every_t`, :func:`trim_extremes`.
+"""
+
+from .approximation import (
+    approximate,
+    average,
+    nearest_int,
+    select_every_t,
+    trim_extremes,
+)
+from .constant import ConstantTimeRenaming
+from .fast import TWO_STEP_ROUNDS, TwoStepOptions, TwoStepRenaming
+from .id_selection import ID_SELECTION_STEPS, IdSelectionPhase
+from .messages import (
+    EchoMessage,
+    IdMessage,
+    MultiEchoMessage,
+    Rank,
+    RanksMessage,
+    ReadyMessage,
+)
+from .params import SystemParams
+from .renaming import (
+    FLOAT_TOLERANCE,
+    STABILITY_ROUNDS,
+    OrderPreservingRenaming,
+    RenamingOptions,
+)
+from .validation import is_sound_id, is_sound_rank, is_sound_vote, is_valid_ranks
+
+__all__ = [
+    "ConstantTimeRenaming",
+    "EchoMessage",
+    "FLOAT_TOLERANCE",
+    "ID_SELECTION_STEPS",
+    "IdMessage",
+    "IdSelectionPhase",
+    "MultiEchoMessage",
+    "OrderPreservingRenaming",
+    "Rank",
+    "RanksMessage",
+    "ReadyMessage",
+    "RenamingOptions",
+    "STABILITY_ROUNDS",
+    "SystemParams",
+    "TWO_STEP_ROUNDS",
+    "TwoStepOptions",
+    "TwoStepRenaming",
+    "approximate",
+    "average",
+    "is_sound_id",
+    "is_sound_rank",
+    "is_sound_vote",
+    "is_valid_ranks",
+    "nearest_int",
+    "select_every_t",
+    "trim_extremes",
+]

@@ -1,0 +1,38 @@
+"""Section V — constant-time strong renaming for ``N > t² + 2t``.
+
+In this regime two things happen simultaneously (Theorem V.3):
+
+* the id-selection bound ``N + ⌊t²/(N−2t)⌋`` collapses to exactly ``N``
+  (Lemma V.1), so Byzantine processes cannot add a single extra identifier
+  and the namespace is the optimal ``N`` — *strong* renaming;
+* the AA convergence rate ``σ_t ≥ t + 2`` is so fast that 4 voting rounds
+  bring the correct ranks within ``(δ−1)/2`` (Lemma V.2), so the whole
+  algorithm takes exactly 8 rounds.
+
+The variant *is* Algorithm 1 with the voting phase truncated to 4 rounds
+(the paper: "change the code of Alg. 1 to run only 4 approximation steps").
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..sim.process import ProcessContext
+from .params import SystemParams
+from .renaming import OrderPreservingRenaming, RenamingOptions
+
+
+class ConstantTimeRenaming(OrderPreservingRenaming):
+    """Algorithm 1 truncated to 4 voting rounds; requires ``N > t² + 2t``.
+
+    Total round count is always 8; the achieved namespace is ``[1..N]``.
+    """
+
+    def __init__(self, ctx: ProcessContext, options: RenamingOptions = RenamingOptions()) -> None:
+        params = SystemParams(ctx.n, ctx.t)
+        if options.enforce_resilience:
+            params.require_constant_time_regime()
+        options = replace(
+            options, voting_rounds=params.constant_time_voting_rounds
+        )
+        super().__init__(ctx, options)

@@ -1,0 +1,133 @@
+"""Algorithm 4 — 2-step order-preserving renaming for ``N > 2t² + t``.
+
+No iterative agreement at all: announce, echo, count.
+
+* **Round 1**: broadcast the own id; remember, per link, the id announced on
+  it (``linkid``) and collect all announced ids into ``timely``.
+* **Round 2**: broadcast ``timely`` as one ``MultiEcho``; accept incoming
+  MultiEchoes that pass the validity filter (sender announced an id in round
+  1, carries at most ``N`` ids, and overlaps the local ``timely`` in at least
+  ``N − t`` ids), count echoes per id.
+* **Naming**: sort the accepted ids; walk them accumulating the offset
+  ``min(counter[id], N − t)``; the new name is the accumulated offset at the
+  own id.
+
+The ``min(·, N − t)`` clamp is the load-bearing trick: it makes the offset of
+every *correct* id identical at all correct processes, so the only
+disagreement left is the ``≤ 2t²`` echoes Byzantine processes can steer
+(Lemma VI.1), which the ``N − t`` inter-name gap (Lemma VI.2) absorbs when
+``N > 2t² + t`` (Theorem VI.3). Namespace ``[1..N²]``.
+
+``clamp_offsets=False`` is ablation E9b: without the clamp the adversary's
+selective echoing inflates Δ linearly in ``N`` and order preservation breaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from ..sim.process import Inbox, Outbox, Process, ProcessContext
+from .messages import IdMessage, MultiEchoMessage
+from .params import SystemParams
+from .validation import is_sound_id
+
+#: Alg. 4's round count.
+TWO_STEP_ROUNDS = 2
+
+
+@dataclass(frozen=True)
+class TwoStepOptions:
+    """Switches for Algorithm 4 (defaults = the paper's algorithm)."""
+
+    clamp_offsets: bool = True
+    enforce_resilience: bool = True
+
+
+class TwoStepRenaming(Process):
+    """A correct process running Algorithm 4."""
+
+    def __init__(self, ctx: ProcessContext, options: TwoStepOptions = TwoStepOptions()) -> None:
+        super().__init__(ctx)
+        self.options = options
+        self.params = SystemParams(ctx.n, ctx.t)
+        if options.enforce_resilience:
+            self.params.require_fast_regime()
+        self.link_id: Dict[int, int] = {}  # link -> id announced on it (line 02/09)
+        self.timely: set = set()
+        self.counter: Dict[int, int] = {}
+        self.new_names: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ rounds
+
+    def send(self, round_no: int) -> Outbox:
+        if round_no == 1:
+            return self.broadcast(IdMessage(self.ctx.my_id))
+        return self.broadcast(MultiEchoMessage.from_ids(self.timely))
+
+    def deliver(self, round_no: int, inbox: Inbox) -> None:
+        if round_no == 1:
+            self._deliver_announcements(inbox)
+        else:
+            self._deliver_echoes(inbox)
+            self._choose_names()
+
+    # ------------------------------------------------------------- phase logic
+
+    def _deliver_announcements(self, inbox: Inbox) -> None:
+        """Round 1, lines 08–10: one id per link; extras on a link ignored."""
+        for link in sorted(inbox):
+            for message in inbox[link]:
+                if isinstance(message, IdMessage) and is_sound_id(message.id):
+                    self.link_id[link] = message.id
+                    self.timely.add(message.id)
+                    break
+
+    def _deliver_echoes(self, inbox: Inbox) -> None:
+        """Round 2, lines 13–17: count echoes from valid MultiEchoes."""
+        for link in sorted(inbox):
+            echo = self._first_multiecho(inbox[link])
+            if echo is None or not self._is_valid(link, echo.ids):
+                continue
+            for identifier in set(echo.ids):
+                self.counter[identifier] = self.counter.get(identifier, 0) + 1
+        self.ctx.log(TWO_STEP_ROUNDS, "counters", dict(self.counter))
+
+    @staticmethod
+    def _first_multiecho(messages) -> Optional[MultiEchoMessage]:
+        """First MultiEcho on a link; Byzantine duplicates are ignored so a
+        single link can never contribute more than one echo per id."""
+        for message in messages:
+            if isinstance(message, MultiEchoMessage):
+                return message
+        return None
+
+    def _is_valid(self, link: int, ids: Iterable[int]) -> bool:
+        """Alg. 4's isValid: announced sender, ≤ N well-typed ids, ≥ N−t
+        overlap. Structurally unsound ids anywhere in the echo condemn the
+        whole message — an honest sender never produces them."""
+        id_set = set(ids)
+        return (
+            link in self.link_id
+            and len(id_set) <= self.ctx.n
+            and all(is_sound_id(identifier) for identifier in id_set)
+            and len(self.timely & id_set) >= self.ctx.n - self.ctx.t
+        )
+
+    def _choose_names(self) -> None:
+        """Lines 18–23: accumulate clamped offsets over the sorted accepted ids."""
+        cap = self.ctx.n - self.ctx.t
+        accumulated = 0
+        for identifier in sorted(self.counter):
+            offset = self.counter[identifier]
+            if self.options.clamp_offsets:
+                offset = min(offset, cap)
+            accumulated += offset
+            self.new_names[identifier] = accumulated
+        if self.ctx.my_id not in self.new_names:
+            raise RuntimeError(
+                f"own id {self.ctx.my_id} received no echoes — impossible for "
+                f"a correct process when N > 2t² + t"
+            )
+        self.output_value = self.new_names[self.ctx.my_id]
+        self.ctx.log(TWO_STEP_ROUNDS, "decided", self.output_value)

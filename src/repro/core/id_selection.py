@@ -1,0 +1,148 @@
+"""The 4-step id-selection phase of Algorithm 1 (Steps 1–4, Section IV-A).
+
+This phase bounds how many identifiers Byzantine processes can inject before
+the rank-approximation phase runs. It is a 4-step cousin of Bracha's
+Echo/Ready reliable broadcast, adapted to the setting where sender identities
+are unknown (only link labels are observable). It guarantees, at every
+correct process ``p`` (Lemmas IV.1–IV.3):
+
+* ``timely_p`` contains every correct id;
+* ``accepted_p ⊇ ⋃_{q correct} timely_q``;
+* ``|accepted_p| ≤ N + ⌊t²/(N−2t)⌋``  (``≤ N + t − 1`` when ``N > 3t``).
+
+The class is written *sans I/O*: :meth:`messages_for_step` says what to
+broadcast and :meth:`deliver_step` consumes an inbox, so the same logic is
+reusable by Alg. 1, by the translated-Byzantine baseline, and by unit tests
+that drive it with hand-crafted message patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..sim.process import Inbox, iter_inbox
+from .messages import EchoMessage, IdMessage, Message, ReadyMessage
+from .validation import is_sound_id
+
+#: Number of communication steps this phase takes.
+ID_SELECTION_STEPS = 4
+
+
+class IdSelectionPhase:
+    """State machine for Steps 1–4 of Algorithm 1.
+
+    Drive it with ``messages_for_step(s)`` / ``deliver_step(s, inbox)`` for
+    ``s = 1..4``; afterwards read :attr:`timely`, :attr:`accepted` and
+    :meth:`sorted_accepted`.
+    """
+
+    def __init__(self, n: int, t: int, my_id: int) -> None:
+        self.n = n
+        self.t = t
+        self.my_id = my_id
+        #: ids carried forward to the next step ("Ids" in the pseudo-code).
+        self._pending: Set[int] = set()
+        #: id -> links that echoed it (Step 2).
+        self._echo_links: Dict[int, Set[int]] = {}
+        #: id -> links that sent READY for it (cumulative over Steps 3 and 4).
+        self._ready_links: Dict[int, Set[int]] = {}
+        #: ids this process has already broadcast READY for.
+        self._readied: Set[int] = set()
+        self.timely: FrozenSet[int] = frozenset()
+        self.accepted: FrozenSet[int] = frozenset()
+
+    # ------------------------------------------------------------------ sends
+
+    def messages_for_step(self, step: int) -> List[Message]:
+        """Messages to broadcast at the start of phase-step ``step`` (1-based)."""
+        if step == 1:
+            return [IdMessage(self.my_id)]
+        if step == 2:
+            return [EchoMessage(identifier) for identifier in sorted(self._pending)]
+        if step in (3, 4):
+            messages: List[Message] = []
+            for identifier in sorted(self._pending):
+                self._readied.add(identifier)
+                messages.append(ReadyMessage(identifier))
+            return messages
+        raise ValueError(f"id selection has steps 1..4, got {step}")
+
+    # --------------------------------------------------------------- receives
+
+    def deliver_step(self, step: int, inbox: Inbox) -> None:
+        """Consume the inbox of phase-step ``step`` and update state."""
+        if step == 1:
+            self._deliver_ids(inbox)
+        elif step == 2:
+            self._deliver_echoes(inbox)
+        elif step == 3:
+            self._deliver_readies(inbox)
+            self._close_step3()
+        elif step == 4:
+            self._deliver_readies(inbox)
+            self._close_step4()
+        else:
+            raise ValueError(f"id selection has steps 1..4, got {step}")
+
+    def _deliver_ids(self, inbox: Inbox) -> None:
+        # Step 1: "foreach id: <Id, id> received from a distinct link".
+        # A faulty link may announce several ids; only its first announcement
+        # counts as *its* id here (one id per link), which is the strongest
+        # reading — extra announcements on the same link are ignored.
+        for link in sorted(inbox):
+            for message in inbox[link]:
+                if isinstance(message, IdMessage) and is_sound_id(message.id):
+                    self._pending.add(message.id)
+                    break
+
+    def _deliver_echoes(self, inbox: Inbox) -> None:
+        # Step 2: keep ids echoed on at least N−t distinct links.
+        for link, message in iter_inbox(inbox):
+            if isinstance(message, EchoMessage) and is_sound_id(message.id):
+                self._echo_links.setdefault(message.id, set()).add(link)
+        self._pending = {
+            identifier
+            for identifier, links in self._echo_links.items()
+            if len(links) >= self.n - self.t
+        }
+
+    def _deliver_readies(self, inbox: Inbox) -> None:
+        # Steps 3 and 4 accumulate READY support per distinct link; a link
+        # confirming the same id in both steps counts once.
+        for link, message in iter_inbox(inbox):
+            if isinstance(message, ReadyMessage) and is_sound_id(message.id):
+                self._ready_links.setdefault(message.id, set()).add(link)
+
+    def _close_step3(self) -> None:
+        # timely: ids with >= N−t READY links after step 3 (line 17-18).
+        self.timely = frozenset(
+            identifier
+            for identifier, links in self._ready_links.items()
+            if len(links) >= self.n - self.t
+        )
+        # amplification: ids with >= N−2t READY links that we have not yet
+        # confirmed get a READY from us in step 4 (lines 19-20).
+        self._pending = {
+            identifier
+            for identifier, links in self._ready_links.items()
+            if len(links) >= self.n - 2 * self.t and identifier not in self._readied
+        }
+
+    def _close_step4(self) -> None:
+        # accepted: ids with >= N−t READY links over steps 3 and 4 (lines 24-25).
+        self.accepted = frozenset(
+            identifier
+            for identifier, links in self._ready_links.items()
+            if len(links) >= self.n - self.t
+        )
+
+    # ----------------------------------------------------------------- output
+
+    def sorted_accepted(self) -> Tuple[int, ...]:
+        """The accepted ids in ascending order (line 26's ``sort``)."""
+        return tuple(sorted(self.accepted))
+
+    def rank_of(self, identifier: int) -> int:
+        """1-based position of ``identifier`` in the sorted accepted set."""
+        ordered = self.sorted_accepted()
+        return ordered.index(identifier) + 1

@@ -1,0 +1,216 @@
+"""Algorithm 1 — order-preserving Byzantine renaming for ``N > 3t``.
+
+The paper's main contribution. Two phases:
+
+1. **Id selection** (rounds 1–4, :mod:`repro.core.id_selection`): bound the
+   identifiers Byzantine processes can inject and compute initial ranks —
+   each accepted id's 1-based position in the sorted accepted set, stretched
+   by ``δ = 1 + 1/(3(N+t))``.
+2. **Rank approximation** (rounds 5 to ``3⌈log₂ t⌉ + 7``): coordinated
+   Byzantine approximate agreement on the ranks. Incoming votes are filtered
+   by ``isValid`` (:mod:`repro.core.validation`) so the agreement can only
+   converge order-consistently, then folded by ``approximate``
+   (:mod:`repro.core.approximation`).
+
+The final name is the nearest integer to the converged rank of the process's
+own id. Guarantees (Theorem IV.10): validity in ``[1..N+t−1]``, termination
+in ``3⌈log₂ t⌉ + 7`` rounds, uniqueness, and order preservation.
+
+``RenamingOptions`` exposes the ablation switches used by experiment E9 —
+they exist to *demonstrate the attacks the design defends against* and are
+never on in normal use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Mapping, Optional, Set
+
+from ..sim.process import Inbox, Outbox, Process, ProcessContext
+from .approximation import approximate, nearest_int
+from .id_selection import ID_SELECTION_STEPS, IdSelectionPhase
+from .messages import Rank, RanksMessage
+from .params import SystemParams
+from .validation import is_sound_vote, is_valid_ranks
+
+#: Spacing tolerance used by ``isValid`` in float mode (see validation docs).
+FLOAT_TOLERANCE = 1e-9
+
+#: Consecutive all-votes-agree voting rounds before the early-deciding
+#: extension freezes (2 = one round to reach the common value, one to
+#: observe that everyone did).
+STABILITY_ROUNDS = 2
+
+
+@dataclass(frozen=True)
+class RenamingOptions:
+    """Tuning and ablation switches for Algorithm 1.
+
+    * ``voting_rounds`` — override the scheduled approximation rounds
+      (``None`` = the paper's ``3⌈log₂ t⌉ + 3``; the constant-time variant of
+      Section V passes 4).
+    * ``exact_arithmetic`` — ``True`` (default) runs ranks as
+      :class:`fractions.Fraction`, matching the paper's exact analysis;
+      ``False`` uses floats with an epsilon-tolerant validity check.
+    * ``validate_votes`` — ablation E9a: ``False`` disables ``isValid`` and
+      lets the divergence attack break uniqueness/order.
+    * ``stretch`` — ablation E9d: ``False`` sets ``δ = 1``, collapsing the
+      analytic rounding margin ``(δ−1)/2`` to zero (no attack in the library
+      exploits it at laptop scale — finding F4 in EXPERIMENTS.md).
+    * ``enforce_resilience`` — raise at construction unless ``N > 3t``.
+    * ``early_deciding`` — enable the early-freezing extension (the
+      direction of Alistarh et al. [1], which made the crash algorithm
+      early-deciding). A process *freezes* its ranks once every valid vote
+      it received agreed with its own ranks (restricted to its accepted
+      ids) for :data:`STABILITY_ROUNDS` consecutive voting rounds, and
+      keeps broadcasting the frozen vote until the scheduled final round.
+
+      Why freezing is safe: correct votes always arrive and always pass
+      ``isValid`` (Lemma IV.4), so "all valid votes agree with mine"
+      implies *every correct process* holds identical ranks. That state is
+      a fixed point of the trimmed fold — with ``N − t`` identical correct
+      votes, trimming ``t`` extremes leaves only copies of the common value
+      whatever the ``t`` Byzantine votes were — so the frozen value equals
+      everyone's final value. Byzantine processes can at most *delay*
+      freezing (a liveness attack degrades to the scheduled rounds), never
+      corrupt it. Halting early, by contrast, would starve the remaining
+      processes' ``N − t`` vote threshold, which is why the extension
+      freezes-and-keeps-sending: the win is decision latency (traced as
+      ``early_frozen``), not message count.
+    """
+
+    voting_rounds: Optional[int] = None
+    exact_arithmetic: bool = True
+    validate_votes: bool = True
+    stretch: bool = True
+    enforce_resilience: bool = True
+    early_deciding: bool = False
+
+
+class OrderPreservingRenaming(Process):
+    """A correct process running Algorithm 1."""
+
+    def __init__(self, ctx: ProcessContext, options: RenamingOptions = RenamingOptions()) -> None:
+        super().__init__(ctx)
+        self.options = options
+        self.params = SystemParams(ctx.n, ctx.t)
+        if options.enforce_resilience:
+            self.params.require_byzantine_resilience()
+        delta = self.params.delta if options.stretch else Fraction(1)
+        self.delta: Rank = delta if options.exact_arithmetic else float(delta)
+        self._tolerance = 0.0 if options.exact_arithmetic else FLOAT_TOLERANCE
+        voting = options.voting_rounds
+        self.voting_rounds = self.params.voting_rounds if voting is None else voting
+        if self.voting_rounds < 1:
+            raise ValueError(f"need at least one voting round, got {self.voting_rounds}")
+        self.total_rounds = ID_SELECTION_STEPS + self.voting_rounds
+        self.selection = IdSelectionPhase(ctx.n, ctx.t, ctx.my_id)
+        self.ranks: Dict[int, Rank] = {}
+        self.accepted: Set[int] = set()
+        self._stable_rounds = 0
+        #: Voting round at which the early-deciding extension froze the
+        #: ranks (None when it never triggered or is disabled).
+        self.frozen_at: Optional[int] = None
+
+    # ------------------------------------------------------------------ rounds
+
+    def send(self, round_no: int) -> Outbox:
+        if round_no <= ID_SELECTION_STEPS:
+            return self.broadcast(*self.selection.messages_for_step(round_no))
+        return self.broadcast(RanksMessage.from_dict(self.ranks))
+
+    def deliver(self, round_no: int, inbox: Inbox) -> None:
+        if round_no <= ID_SELECTION_STEPS:
+            self.selection.deliver_step(round_no, inbox)
+            if round_no == ID_SELECTION_STEPS:
+                self._initialise_ranks()
+            return
+        self._voting_step(round_no, inbox)
+        if round_no == self.total_rounds:
+            self._decide()
+
+    # ------------------------------------------------------------- phase logic
+
+    def _initialise_ranks(self) -> None:
+        """Line 26–28: sort accepted, rank every id, stretch by δ."""
+        self.accepted = set(self.selection.accepted)
+        if self.ctx.my_id not in self.accepted:
+            # Impossible for a correct process when N > 3t (Lemma IV.2);
+            # reachable only under misconfiguration, so fail loudly.
+            raise RuntimeError(
+                f"correct id {self.ctx.my_id} missing from accepted set "
+                f"(n={self.ctx.n}, t={self.ctx.t})"
+            )
+        ordered = self.selection.sorted_accepted()
+        self.ranks = {
+            identifier: position * self.delta
+            for position, identifier in enumerate(ordered, start=1)
+        }
+        self.ctx.log(ID_SELECTION_STEPS, "timely", frozenset(self.selection.timely))
+        self.ctx.log(ID_SELECTION_STEPS, "accepted", ordered)
+        self.ctx.log(ID_SELECTION_STEPS, "ranks", dict(self.ranks))
+
+    def _voting_step(self, round_no: int, inbox: Inbox) -> None:
+        """Lines 30–35: collect votes, filter with isValid, approximate."""
+        votes: List[Mapping[int, Rank]] = []
+        for link in sorted(inbox):
+            vote = self._first_vote(inbox[link])
+            if vote is None:
+                continue
+            if not self.options.validate_votes or is_valid_ranks(
+                self.selection.timely, vote, self.delta, self._tolerance
+            ):
+                votes.append(vote)
+        if self.frozen_at is not None:
+            return  # frozen: keep broadcasting, stop approximating
+        if self.options.early_deciding:
+            self._track_stability(round_no, votes)
+            if self.frozen_at is not None:
+                return
+        self.ranks, self.accepted = approximate(
+            self.ranks, self.accepted, votes, self.ctx.n, self.ctx.t
+        )
+        self.ctx.log(round_no, "ranks", dict(self.ranks))
+
+    def _track_stability(self, round_no: int, votes: List[Mapping[int, Rank]]) -> None:
+        """Early-deciding extension: freeze on STABILITY_ROUNDS unanimous
+        rounds (see RenamingOptions.early_deciding for the safety argument)."""
+        unanimous = len(votes) >= self.ctx.n - self.ctx.t and all(
+            all(
+                identifier in vote and vote[identifier] == rank
+                for identifier, rank in self.ranks.items()
+                if identifier in self.accepted
+            )
+            for vote in votes
+        )
+        if unanimous:
+            self._stable_rounds += 1
+        else:
+            self._stable_rounds = 0
+        if self._stable_rounds >= STABILITY_ROUNDS:
+            self.frozen_at = round_no
+            self.ctx.log(round_no, "early_frozen", dict(self.ranks))
+
+    @staticmethod
+    def _first_vote(messages) -> Optional[Dict[int, Rank]]:
+        """First AA vote on a link this round; extras on the same link are
+        Byzantine double-voting and are ignored. Structurally unsound votes
+        (non-int ids, NaN/inf ranks) are dropped before any arithmetic —
+        hygiene, not semantics; ``isValid`` cannot be trusted to catch NaN
+        because NaN defeats every comparison."""
+        for message in messages:
+            if isinstance(message, RanksMessage):
+                vote = message.as_dict()
+                return vote if is_sound_vote(vote) else None
+        return None
+
+    def _decide(self) -> None:
+        """Line 36–37: output the rounded rank of the own id."""
+        if self.ctx.my_id not in self.ranks:
+            raise RuntimeError(
+                f"rank for own id {self.ctx.my_id} was discarded — "
+                "cannot happen for a correct process when N > 3t"
+            )
+        self.output_value = nearest_int(self.ranks[self.ctx.my_id])
+        self.ctx.log(self.total_rounds, "decided", self.output_value)

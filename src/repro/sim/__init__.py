@@ -1,0 +1,65 @@
+"""Synchronous message-passing simulator (the paper's system model).
+
+Implements Section II of the paper exactly: ``N`` processes in a fully
+connected network, lock-step rounds, reliable links, per-process private link
+labels with a self-loop, and up to ``t`` adversary-controlled faulty slots
+with rushing and full-collusion powers.
+
+Public surface:
+
+* :class:`Process` / :class:`ProcessContext` — write protocols as round state
+  machines.
+* :func:`run_protocol` / :class:`RunResult` — execute a run.
+* :class:`Adversary` / :class:`AdversaryContext` — the fault-injection
+  contract (implementations in :mod:`repro.adversary`).
+* :class:`FullMeshTopology`, :class:`SynchronousNetwork` — the wiring.
+* :class:`RunMetrics`, :class:`TraceRecorder` — observability.
+"""
+
+from .errors import (
+    ConfigurationError,
+    ProtocolViolationError,
+    RoundLimitExceeded,
+    SimulationError,
+)
+from .faults import Adversary, AdversaryContext, NullAdversary, split_fault_slots
+from .messages import KIND_BITS, Message, int_bits, total_bits
+from .metrics import RoundMetrics, RunMetrics
+from .network import SynchronousNetwork
+from .process import BROADCAST, Inbox, Outbox, Process, ProcessContext, iter_inbox
+from .rng import derive_rng, derive_seed
+from .runner import ProcessFactory, RunResult, run_protocol
+from .topology import FullMeshTopology
+from .trace import TraceEvent, TraceRecorder
+
+__all__ = [
+    "Adversary",
+    "AdversaryContext",
+    "BROADCAST",
+    "ConfigurationError",
+    "FullMeshTopology",
+    "Inbox",
+    "KIND_BITS",
+    "Message",
+    "NullAdversary",
+    "Outbox",
+    "Process",
+    "ProcessContext",
+    "ProcessFactory",
+    "ProtocolViolationError",
+    "RoundLimitExceeded",
+    "RoundMetrics",
+    "RunMetrics",
+    "RunResult",
+    "SimulationError",
+    "SynchronousNetwork",
+    "TraceEvent",
+    "TraceRecorder",
+    "derive_rng",
+    "derive_seed",
+    "int_bits",
+    "iter_inbox",
+    "run_protocol",
+    "split_fault_slots",
+    "total_bits",
+]

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the synchronous-round simulator.
+
+All simulator-level failures derive from :class:`SimulationError` so callers
+can distinguish "the experiment setup is wrong" from "the protocol under test
+misbehaved" from ordinary Python bugs.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for every error raised by :mod:`repro.sim`."""
+
+
+class ConfigurationError(SimulationError):
+    """An experiment was configured inconsistently.
+
+    Examples: ``t >= N``, duplicate original ids, a fault threshold that the
+    algorithm under test rejects, or an adversary bound to the wrong network.
+    """
+
+
+class ProtocolViolationError(SimulationError):
+    """A *correct* process behaved outside the simulator contract.
+
+    Raised, for instance, when a process addresses a message to a link label
+    outside ``1..N`` or keeps sending after announcing its output. Byzantine
+    processes are exempt — arbitrary behaviour is their job — but their
+    messages still have to be :class:`repro.sim.messages.Message` instances so
+    the delivery plumbing stays type-safe.
+    """
+
+
+class RoundLimitExceeded(SimulationError):
+    """The run hit ``max_rounds`` before every correct process produced output.
+
+    Synchronous algorithms have a closed-form round bound, so hitting this is
+    always a bug in the protocol, the bound, or a deliberately truncated run.
+    """

@@ -1,0 +1,79 @@
+"""Run metrics: rounds, message counts, and bit counts.
+
+The paper's complexity claims (Sections IV-D and VI-B) are stated in
+communication steps, total messages, and per-message bits. The runner feeds
+this collector every round so experiment E6 can compare measured traffic
+against the closed-form bounds.
+
+Correct and Byzantine traffic are counted separately: the paper's bounds
+govern what *correct* processes transmit, while Byzantine senders may emit
+anything (including nothing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List
+
+from .messages import Message
+
+
+@dataclass
+class RoundMetrics:
+    """Traffic observed during one synchronous round."""
+
+    round_no: int
+    correct_messages: int = 0
+    correct_bits: int = 0
+    byzantine_messages: int = 0
+
+
+@dataclass
+class RunMetrics:
+    """Aggregated traffic for a whole run.
+
+    ``id_bits``/``rank_bits`` fix the encoding model used for bit accounting
+    (see :mod:`repro.sim.messages`). ``peak_message_bits`` tracks the largest
+    single message sent by a correct process — the quantity the paper's
+    message-size bounds govern.
+    """
+
+    id_bits: int = 64
+    rank_bits: int = 16
+    peak_message_bits: int = 0
+    rounds: List[RoundMetrics] = field(default_factory=list)
+
+    def begin_round(self, round_no: int) -> RoundMetrics:
+        """Open the accounting record for a new round."""
+        record = RoundMetrics(round_no=round_no)
+        self.rounds.append(record)
+        return record
+
+    def count_correct(self, record: RoundMetrics, messages: Iterable[Message]) -> None:
+        """Charge correct-process messages to ``record`` and track peak size."""
+        for message in messages:
+            bits = message.bit_size(id_bits=self.id_bits, rank_bits=self.rank_bits)
+            record.correct_messages += 1
+            record.correct_bits += bits
+            if bits > self.peak_message_bits:
+                self.peak_message_bits = bits
+
+    @property
+    def round_count(self) -> int:
+        """Number of communication rounds executed."""
+        return len(self.rounds)
+
+    @property
+    def correct_messages(self) -> int:
+        """Total messages sent by correct processes."""
+        return sum(r.correct_messages for r in self.rounds)
+
+    @property
+    def correct_bits(self) -> int:
+        """Total bits sent by correct processes under the encoding model."""
+        return sum(r.correct_bits for r in self.rounds)
+
+    @property
+    def byzantine_messages(self) -> int:
+        """Total messages injected by the adversary."""
+        return sum(r.byzantine_messages for r in self.rounds)

@@ -1,0 +1,79 @@
+"""Synchronous delivery: turn per-sender outboxes into per-recipient inboxes.
+
+Delivery is reliable and within-round (Section II: reliable channels,
+synchronous network). Addressing happens entirely in terms of each
+endpoint's *local* link labels: a sender puts messages on its own labels, and
+the network re-keys them onto the recipient's label for that sender. No
+global identity ever reaches a protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from .errors import ProtocolViolationError
+from .messages import Message
+from .process import BROADCAST, Inbox, Outbox
+from .topology import FullMeshTopology
+
+#: Delivery plan: recipient global index -> recipient link label -> messages.
+DeliveryMap = Dict[int, Dict[int, List[Message]]]
+
+
+class SynchronousNetwork:
+    """Per-round message switch over a :class:`FullMeshTopology`."""
+
+    def __init__(self, topology: FullMeshTopology) -> None:
+        self._topology = topology
+
+    @property
+    def topology(self) -> FullMeshTopology:
+        return self._topology
+
+    def expand_outbox(self, sender: int, outbox: Outbox) -> List[Tuple[int, Message]]:
+        """Flatten an outbox into ``(sender_link, message)`` transmissions.
+
+        The :data:`BROADCAST` key expands to every link including the
+        self-loop, matching the paper's ``broadcast``. Raises
+        :class:`ProtocolViolationError` on malformed outboxes so protocol bugs
+        fail loudly instead of being silently dropped.
+        """
+        n = self._topology.n
+        transmissions: List[Tuple[int, Message]] = []
+        for link, messages in outbox.items():
+            if link == BROADCAST:
+                links = list(self._topology.labels())
+            elif 1 <= link <= n:
+                links = [link]
+            else:
+                raise ProtocolViolationError(
+                    f"process {sender} addressed invalid link {link} (n={n})"
+                )
+            for message in messages:
+                if not isinstance(message, Message):
+                    raise ProtocolViolationError(
+                        f"process {sender} sent a non-Message object: {message!r}"
+                    )
+                for out_link in links:
+                    transmissions.append((out_link, message))
+        return transmissions
+
+    def deliver(self, outboxes: Mapping[int, Outbox]) -> DeliveryMap:
+        """Route every sender's transmissions to recipient-local inboxes."""
+        plan: DeliveryMap = {}
+        for sender, outbox in outboxes.items():
+            for sender_link, message in self.expand_outbox(sender, outbox):
+                recipient = self._topology.peer_of(sender, sender_link)
+                if recipient == sender:
+                    recipient_link = self._topology.self_link
+                else:
+                    recipient_link = self._topology.label_of(recipient, sender)
+                plan.setdefault(recipient, {}).setdefault(recipient_link, []).append(
+                    message
+                )
+        return plan
+
+    @staticmethod
+    def freeze_inbox(links: Dict[int, List[Message]]) -> Inbox:
+        """Make the per-link message lists immutable before handing them out."""
+        return {link: tuple(msgs) for link, msgs in links.items()}

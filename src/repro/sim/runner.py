@@ -1,0 +1,222 @@
+"""The synchronous round executor.
+
+:func:`run_protocol` wires together a topology, a set of correct protocol
+processes, an adversary driving the faulty slots, metrics, and tracing, and
+executes lock-step rounds until every correct process has produced an output
+(or ``max_rounds`` fires, which for a synchronous algorithm is always a bug).
+
+Round structure (matching the paper's "Step r"):
+
+1. every correct, not-yet-done process is asked for its round-``r`` outbox;
+2. the (rushing) adversary sees those outboxes and picks the Byzantine ones;
+3. the network delivers everything simultaneously;
+4. every correct, not-yet-done process consumes its inbox;
+5. the adversary observes what reached the faulty slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+from .errors import ConfigurationError, RoundLimitExceeded
+from .faults import Adversary, AdversaryContext, NullAdversary, split_fault_slots
+from .messages import int_bits
+from .metrics import RunMetrics
+from .network import SynchronousNetwork
+from .process import Inbox, Outbox, Process, ProcessContext
+from .rng import derive_rng
+from .topology import FullMeshTopology
+from .trace import TraceRecorder
+
+#: Builds a protocol instance from a context; the same factory serves correct
+#: processes and the adversary's "run the real protocol" strategies.
+ProcessFactory = Callable[[ProcessContext], Process]
+
+
+def _roundtrip_outbox(outbox: Outbox) -> Outbox:
+    """Encode and decode every message (the ``through_wire`` fidelity drill).
+
+    Imported lazily: the codec lives above this layer (it knows every
+    protocol's message types), so the runner must not import it at module
+    scope.
+    """
+    from ..wire import decode_message, encode_message
+
+    return {
+        link: [decode_message(encode_message(message)) for message in messages]
+        for link, messages in outbox.items()
+    }
+
+
+@dataclass
+class RunResult:
+    """Everything observable about a finished run."""
+
+    n: int
+    t: int
+    byzantine: Tuple[int, ...]
+    ids: Dict[int, int]
+    outputs: Dict[int, object]
+    metrics: RunMetrics
+    trace: Optional[TraceRecorder]
+    processes: Dict[int, Process]
+
+    @property
+    def correct(self) -> Tuple[int, ...]:
+        """Global indices of correct processes."""
+        byz = set(self.byzantine)
+        return tuple(i for i in range(self.n) if i not in byz)
+
+    def outputs_by_id(self) -> Dict[int, object]:
+        """Map each correct process's *original id* to its output."""
+        return {self.ids[i]: self.outputs[i] for i in self.correct}
+
+    def new_names(self) -> Dict[int, int]:
+        """``outputs_by_id`` narrowed to integer names (the renaming case)."""
+        named = {}
+        for original, output in self.outputs_by_id().items():
+            if not isinstance(output, int):
+                raise TypeError(
+                    f"output for id {original} is {output!r}, not an int name"
+                )
+            named[original] = output
+        return named
+
+
+def run_protocol(
+    factory: ProcessFactory,
+    *,
+    n: int,
+    t: int,
+    ids: Sequence[int],
+    adversary: Optional[Adversary] = None,
+    byzantine: Sequence[int] = (),
+    seed: int = 0,
+    max_rounds: int = 1000,
+    collect_trace: bool = False,
+    through_wire: bool = False,
+) -> RunResult:
+    """Execute one synchronous run and return its :class:`RunResult`.
+
+    ``ids[i]`` is the original id of the process at global index ``i`` —
+    faulty slots get ids too (the adversary may use, abuse, or ignore them).
+    ``byzantine`` pins specific slots as faulty; remaining faulty slots (up to
+    ``t``) are drawn from the seed. With ``adversary=None`` the faulty slots
+    are silent (:class:`NullAdversary`).
+
+    ``through_wire=True`` round-trips every correct process's messages
+    through the binary codec (:mod:`repro.wire`) before delivery — a
+    fidelity drill proving the codec carries the full protocol (Byzantine
+    traffic is exempt: adversaries may emit objects no codec knows).
+    """
+    if n < 1:
+        raise ConfigurationError(f"need at least one process, got n={n}")
+    if not 0 <= t < n:
+        raise ConfigurationError(f"fault bound t={t} must satisfy 0 <= t < n={n}")
+    if len(ids) != n:
+        raise ConfigurationError(f"got {len(ids)} ids for n={n} processes")
+    if len(set(ids)) != n:
+        raise ConfigurationError("original ids must be unique")
+    if any(identifier < 1 for identifier in ids):
+        raise ConfigurationError("original ids must be positive integers")
+
+    topology = FullMeshTopology(n, seed=seed)
+    network = SynchronousNetwork(topology)
+    byz = split_fault_slots(n, t, derive_rng(seed, "fault-slots"), fixed=byzantine)
+    byz_set = set(byz)
+    id_of = {i: int(ids[i]) for i in range(n)}
+
+    trace = TraceRecorder() if collect_trace else None
+    metrics = RunMetrics(
+        id_bits=int_bits(max(ids) + 1),
+        rank_bits=int_bits(n * n + 1),
+    )
+
+    def build(index: int) -> Process:
+        ctx = ProcessContext(
+            n=n,
+            t=t,
+            my_id=id_of[index],
+            rng=derive_rng(seed, "process", index),
+            trace=trace.bind(index) if trace is not None else None,
+        )
+        return factory(ctx)
+
+    processes: Dict[int, Process] = {i: build(i) for i in range(n) if i not in byz_set}
+
+    if adversary is None:
+        adversary = NullAdversary()
+    adversary.bind(
+        AdversaryContext(
+            n=n,
+            t=t,
+            byzantine=byz,
+            ids=id_of,
+            topology=topology,
+            rng=derive_rng(seed, "adversary"),
+            make_process=build,
+        )
+    )
+
+    for round_no in range(1, max_rounds + 1):
+        pending = [i for i, p in processes.items() if not p.done]
+        if not pending:
+            break
+        record = metrics.begin_round(round_no)
+
+        correct_outboxes: Dict[int, Outbox] = {
+            i: processes[i].send(round_no) for i in pending
+        }
+        if through_wire:
+            correct_outboxes = {
+                i: _roundtrip_outbox(outbox)
+                for i, outbox in correct_outboxes.items()
+            }
+        byz_outboxes = adversary.send(round_no, correct_outboxes)
+        for index in byz_outboxes:
+            if index not in byz_set:
+                raise ConfigurationError(
+                    f"adversary tried to send as correct process {index}"
+                )
+
+        all_outboxes: Dict[int, Outbox] = dict(correct_outboxes)
+        all_outboxes.update(byz_outboxes)
+        plan = network.deliver(all_outboxes)
+
+        for index, outbox in correct_outboxes.items():
+            metrics.count_correct(
+                record, (m for _, m in network.expand_outbox(index, outbox))
+            )
+        record.byzantine_messages += sum(
+            len(network.expand_outbox(index, outbox))
+            for index, outbox in byz_outboxes.items()
+        )
+
+        empty: Inbox = {}
+        for index in pending:
+            links = plan.get(index)
+            inbox = network.freeze_inbox(links) if links else empty
+            processes[index].deliver(round_no, inbox)
+        byz_inboxes: Mapping[int, Inbox] = {
+            index: network.freeze_inbox(plan[index]) for index in byz if index in plan
+        }
+        adversary.observe(round_no, byz_inboxes)
+    else:
+        stuck = [i for i, p in processes.items() if not p.done]
+        raise RoundLimitExceeded(
+            f"{len(stuck)} correct processes undecided after {max_rounds} rounds: "
+            f"{stuck[:8]}"
+        )
+
+    outputs = {i: p.output_value for i, p in processes.items()}
+    return RunResult(
+        n=n,
+        t=t,
+        byzantine=byz,
+        ids=id_of,
+        outputs=outputs,
+        metrics=metrics,
+        trace=trace,
+        processes=processes,
+    )

@@ -1,0 +1,75 @@
+"""Fully-connected topology with per-process link labelling.
+
+Section II of the paper: processes are arranged in a fully connected
+synchronous network; the links of each process are labelled ``1..N`` where
+``1..N-1`` go to the other processes and link ``N`` is a self-loop. Crucially,
+a receiver learns only the *label of the link* a message arrived on — link
+labels are private to each endpoint and carry no global identity. This class
+realises that model: each process gets an independent random permutation
+mapping its local labels to peers, so nothing about a peer's identity can be
+inferred from a label.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .errors import ConfigurationError
+from .rng import derive_rng
+
+
+class FullMeshTopology:
+    """Link-labelled full mesh over ``n`` processes (global indices ``0..n-1``).
+
+    The labelling is fixed for the lifetime of a run: messages sent by ``p``
+    on a given label always reach the same peer, and all messages from a given
+    peer arrive at ``q`` on the same label — the standard "ports" model.
+    """
+
+    def __init__(self, n: int, seed: int = 0) -> None:
+        if n < 1:
+            raise ConfigurationError(f"topology needs at least one process, got n={n}")
+        self._n = n
+        # _peer_of[p][lnk] -> global index of the peer reached via label lnk.
+        self._peer_of: List[Dict[int, int]] = []
+        # _label_of[p][q] -> label at p on which messages from/to q travel.
+        self._label_of: List[Dict[int, int]] = []
+        for p in range(n):
+            others = [q for q in range(n) if q != p]
+            derive_rng(seed, "topology", p).shuffle(others)
+            peer_of = {label: peer for label, peer in enumerate(others, start=1)}
+            peer_of[n] = p  # self-loop, per the paper's model
+            self._peer_of.append(peer_of)
+            self._label_of.append({peer: label for label, peer in peer_of.items()})
+
+    @property
+    def n(self) -> int:
+        """Number of processes."""
+        return self._n
+
+    @property
+    def self_link(self) -> int:
+        """The self-loop label (always ``n``)."""
+        return self._n
+
+    def labels(self) -> Sequence[int]:
+        """All valid link labels, ``1..n`` (``n`` being the self-loop)."""
+        return range(1, self._n + 1)
+
+    def peer_of(self, process: int, label: int) -> int:
+        """Global index of the peer that ``process`` reaches via ``label``."""
+        try:
+            return self._peer_of[process][label]
+        except (IndexError, KeyError):
+            raise ConfigurationError(
+                f"invalid link label {label} at process {process} (n={self._n})"
+            ) from None
+
+    def label_of(self, process: int, peer: int) -> int:
+        """Label at ``process`` on which traffic to/from ``peer`` travels."""
+        try:
+            return self._label_of[process][peer]
+        except (IndexError, KeyError):
+            raise ConfigurationError(
+                f"no link between process {process} and peer {peer} (n={self._n})"
+            ) from None

@@ -1,0 +1,66 @@
+"""Event tracing for debugging and for white-box experiments.
+
+Several experiments need to look *inside* a run rather than only at outputs —
+e.g. E3 measures the spread of correct processes' rank estimates after every
+voting round. Processes emit structured events through their context's
+``trace`` callback; :class:`TraceRecorder` collects them with the emitting
+process's global index attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record: who, when, what."""
+
+    process: int
+    round_no: int
+    event: str
+    detail: Any
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` records for a run."""
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+
+    def bind(self, process: int) -> Callable[[int, str, Any], None]:
+        """Return a per-process trace callback tagging events with ``process``."""
+
+        def _trace(round_no: int, event: str, detail: Any = None) -> None:
+            self._events.append(TraceEvent(process, round_no, event, detail))
+
+        return _trace
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def select(
+        self,
+        event: Optional[str] = None,
+        round_no: Optional[int] = None,
+        process: Optional[int] = None,
+    ) -> List[TraceEvent]:
+        """Filter events by any combination of event name, round, process."""
+        out = []
+        for record in self._events:
+            if event is not None and record.event != event:
+                continue
+            if round_no is not None and record.round_no != round_no:
+                continue
+            if process is not None and record.process != process:
+                continue
+            out.append(record)
+        return out
+
+    def rounds(self) -> List[int]:
+        """Sorted distinct round numbers that produced at least one event."""
+        return sorted({record.round_no for record in self._events})

@@ -1,0 +1,294 @@
+"""Binary wire codec for every message type in the library.
+
+The simulator passes Python objects, so a codec is not needed to *run*
+anything — it exists to keep the bit-accounting model honest (experiment
+E6) and to make the library usable over a real transport: every message
+class round-trips through a compact, self-describing binary encoding, and
+``tests/test_wire.py`` checks that the ``bit_size`` model tracks the real
+encoded size.
+
+Format: one tag byte per message, then type-specific fields encoded with
+LEB128 varints (zigzag for signed values). Ranks are exact: a ``Fraction``
+travels as (zigzag numerator, varint denominator); floats are encoded as
+their exact ``Fraction`` equivalent (``float.as_integer_ratio``), so the
+codec never loses precision.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Dict, List, Tuple, Type, Union
+
+from .agreement.approximate import ValueMessage
+from .agreement.eig import RelayMessage
+from .agreement.phase_king import KingMessage, PhaseValueMessage
+from .baselines.splitting import ClaimMessage
+from .broadcast.bracha import (
+    EchoValueMessage,
+    InitialMessage,
+    ReadyValueMessage,
+)
+from .core.messages import (
+    EchoMessage,
+    IdMessage,
+    MultiEchoMessage,
+    RanksMessage,
+    ReadyMessage,
+)
+from .sim.messages import Message
+
+
+class WireError(ValueError):
+    """Raised on any malformed encoding."""
+
+
+# ----------------------------------------------------------------- varints
+
+
+def write_varint(value: int, out: bytearray) -> None:
+    """LEB128 unsigned varint."""
+    if value < 0:
+        raise WireError(f"varint needs a non-negative value, got {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def read_varint(data: bytes, offset: int) -> Tuple[int, int]:
+    """Returns (value, new_offset)."""
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise WireError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+        if shift > 127:
+            raise WireError("varint too long")
+
+
+def _write_signed(value: int, out: bytearray) -> None:
+    """Zigzag + varint: 0, -1, 1, -2, 2 … encode as 0, 1, 2, 3, 4 …"""
+    encoded = (value << 1) if value >= 0 else ((-value << 1) - 1)
+    write_varint(encoded, out)
+
+
+def _read_signed(data: bytes, offset: int) -> Tuple[int, int]:
+    encoded, offset = read_varint(data, offset)
+    value = encoded >> 1
+    return (-value - 1 if encoded & 1 else value), offset
+
+
+# ------------------------------------------------------------------- ranks
+
+Rank = Union[int, float, Fraction]
+
+
+def _write_rank(value: Rank, out: bytearray) -> None:
+    if isinstance(value, float):
+        # floats are exact binary fractions; as_integer_ratio is lossless.
+        fraction = Fraction(*value.as_integer_ratio())
+    else:
+        fraction = Fraction(value)
+    _write_signed(fraction.numerator, out)
+    write_varint(fraction.denominator, out)
+
+
+def _read_rank(data: bytes, offset: int) -> Tuple[Fraction, int]:
+    numerator, offset = _read_signed(data, offset)
+    denominator, offset = read_varint(data, offset)
+    if denominator == 0:
+        raise WireError("zero denominator")
+    return Fraction(numerator, denominator), offset
+
+
+# ------------------------------------------------------------ per-type codecs
+
+Encoder = Callable[[Message, bytearray], None]
+Decoder = Callable[[bytes, int], Tuple[Message, int]]
+
+_SINGLE_ID_TYPES: List[Type[Message]] = [
+    IdMessage,
+    EchoMessage,
+    ReadyMessage,
+]
+_SINGLE_VALUE_TYPES: List[Type[Message]] = [
+    InitialMessage,
+    EchoValueMessage,
+    ReadyValueMessage,
+    PhaseValueMessage,
+    KingMessage,
+]
+
+
+def _encode_single_id(message, out: bytearray) -> None:
+    write_varint(message.id, out)
+
+
+def _encode_single_value(message, out: bytearray) -> None:
+    _write_signed(message.value, out)
+
+
+def _encode_ranks(message: RanksMessage, out: bytearray) -> None:
+    write_varint(len(message.entries), out)
+    for identifier, rank in message.entries:
+        write_varint(identifier, out)
+        _write_rank(rank, out)
+
+
+def _encode_multiecho(message: MultiEchoMessage, out: bytearray) -> None:
+    write_varint(len(message.ids), out)
+    for identifier in message.ids:
+        write_varint(identifier, out)
+
+
+def _encode_value(message: ValueMessage, out: bytearray) -> None:
+    _write_rank(message.value, out)
+
+
+def _encode_claim(message: ClaimMessage, out: bytearray) -> None:
+    write_varint(message.id, out)
+    write_varint(message.lo, out)
+    write_varint(message.hi, out)
+
+
+def _encode_relay(message: RelayMessage, out: bytearray) -> None:
+    write_varint(len(message.entries), out)
+    for path, value in message.entries:
+        write_varint(len(path), out)
+        for hop in path:
+            write_varint(hop, out)
+        _write_signed(value, out)
+
+
+def _decode_ranks(data: bytes, offset: int):
+    count, offset = read_varint(data, offset)
+    entries = []
+    for _ in range(count):
+        identifier, offset = read_varint(data, offset)
+        rank, offset = _read_rank(data, offset)
+        entries.append((identifier, rank))
+    return RanksMessage(entries=tuple(entries)), offset
+
+
+def _decode_multiecho(data: bytes, offset: int):
+    count, offset = read_varint(data, offset)
+    ids = []
+    for _ in range(count):
+        identifier, offset = read_varint(data, offset)
+        ids.append(identifier)
+    return MultiEchoMessage(ids=tuple(ids)), offset
+
+
+def _decode_value(data: bytes, offset: int):
+    rank, offset = _read_rank(data, offset)
+    return ValueMessage(rank), offset
+
+
+def _decode_claim(data: bytes, offset: int):
+    identifier, offset = read_varint(data, offset)
+    lo, offset = read_varint(data, offset)
+    hi, offset = read_varint(data, offset)
+    return ClaimMessage(identifier, lo, hi), offset
+
+
+def _decode_relay(data: bytes, offset: int):
+    count, offset = read_varint(data, offset)
+    entries = []
+    for _ in range(count):
+        length, offset = read_varint(data, offset)
+        path = []
+        for _ in range(length):
+            hop, offset = read_varint(data, offset)
+            path.append(hop)
+        value, offset = _read_signed(data, offset)
+        entries.append((tuple(path), value))
+    return RelayMessage(entries=tuple(entries)), offset
+
+
+def _single_id_decoder(cls: Type[Message]) -> Decoder:
+    def decode(data: bytes, offset: int):
+        identifier, offset = read_varint(data, offset)
+        return cls(identifier), offset
+
+    return decode
+
+
+def _single_value_decoder(cls: Type[Message]) -> Decoder:
+    def decode(data: bytes, offset: int):
+        value, offset = _read_signed(data, offset)
+        return cls(value), offset
+
+    return decode
+
+
+_CODECS: Dict[Type[Message], Tuple[int, Encoder, Decoder]] = {}
+
+
+def _register(cls: Type[Message], tag: int, encoder: Encoder, decoder: Decoder) -> None:
+    if any(existing_tag == tag for existing_tag, _, _ in _CODECS.values()):
+        raise WireError(f"duplicate wire tag {tag}")
+    _CODECS[cls] = (tag, encoder, decoder)
+
+
+for _index, _cls in enumerate(_SINGLE_ID_TYPES):
+    _register(_cls, _index, _encode_single_id, _single_id_decoder(_cls))
+for _index, _cls in enumerate(_SINGLE_VALUE_TYPES, start=len(_SINGLE_ID_TYPES)):
+    _register(_cls, _index, _encode_single_value, _single_value_decoder(_cls))
+_register(RanksMessage, 16, _encode_ranks, _decode_ranks)
+_register(MultiEchoMessage, 17, _encode_multiecho, _decode_multiecho)
+_register(ValueMessage, 18, _encode_value, _decode_value)
+_register(ClaimMessage, 19, _encode_claim, _decode_claim)
+_register(RelayMessage, 20, _encode_relay, _decode_relay)
+
+_BY_TAG: Dict[int, Tuple[Type[Message], Decoder]] = {
+    tag: (cls, decoder) for cls, (tag, _, decoder) in _CODECS.items()
+}
+
+
+# ------------------------------------------------------------------ public
+
+
+def encode_message(message: Message) -> bytes:
+    """Serialise any registered message to bytes."""
+    try:
+        tag, encoder, _ = _CODECS[type(message)]
+    except KeyError:
+        raise WireError(f"no codec registered for {type(message).__name__}")
+    out = bytearray([tag])
+    encoder(message, out)
+    return bytes(out)
+
+
+def decode_message(data: bytes) -> Message:
+    """Deserialise one message; raises :class:`WireError` on any garbage."""
+    if not data:
+        raise WireError("empty buffer")
+    tag = data[0]
+    try:
+        _cls, decoder = _BY_TAG[tag]
+    except KeyError:
+        raise WireError(f"unknown wire tag {tag}")
+    message, offset = decoder(data, 1)
+    if offset != len(data):
+        raise WireError(f"{len(data) - offset} trailing bytes")
+    return message
+
+
+def encoded_bits(message: Message) -> int:
+    """Actual wire size of a message, in bits."""
+    return 8 * len(encode_message(message))
+
+
+def wire_types() -> List[Type[Message]]:
+    """All message classes the codec covers."""
+    return sorted(_CODECS, key=lambda cls: cls.__name__)

@@ -1,0 +1,76 @@
+"""Original-id workload generators.
+
+The renaming problem starts from unique ids drawn from a huge namespace
+``[1..N_max]`` (``N_max ≫ M``); how those ids are laid out changes nothing
+about correctness but stresses different code paths — gap structure affects
+where forged ids can interleave, magnitude affects message-size accounting.
+All generators are deterministic in ``(kind, n, seed)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..sim.rng import derive_rng
+
+#: Default size of the original namespace (``N_max`` in the paper).
+DEFAULT_NAMESPACE = 2**20
+
+
+def uniform_ids(n: int, seed: int = 0, namespace: int = DEFAULT_NAMESPACE) -> List[int]:
+    """``n`` distinct ids drawn uniformly from ``[1..namespace]``."""
+    rng = derive_rng(seed, "workload", "uniform", n)
+    return sorted(rng.sample(range(1, namespace + 1), n))
+
+
+def dense_ids(n: int, seed: int = 0, namespace: int = DEFAULT_NAMESPACE) -> List[int]:
+    """Consecutive ids ``start..start+n−1`` — no gaps for forged ids to use."""
+    rng = derive_rng(seed, "workload", "dense", n)
+    start = rng.randint(1, max(1, namespace - n))
+    return list(range(start, start + n))
+
+
+def clustered_ids(n: int, seed: int = 0, namespace: int = DEFAULT_NAMESPACE) -> List[int]:
+    """Two tight clusters separated by a huge gap — the layout where
+    interleaved forged ids distort rank geometry the most."""
+    rng = derive_rng(seed, "workload", "clustered", n)
+    low_count = n // 2
+    low_start = rng.randint(1, namespace // 4)
+    high_start = rng.randint(namespace // 2, namespace - n)
+    low = list(range(low_start, low_start + low_count))
+    high = list(range(high_start, high_start + (n - low_count)))
+    return low + high
+
+
+def extreme_ids(n: int, seed: int = 0, namespace: int = DEFAULT_NAMESPACE) -> List[int]:
+    """Ids hugging both ends of the namespace (max/min magnitudes)."""
+    half = n // 2
+    low = list(range(1, half + 1))
+    high = list(range(namespace - (n - half) + 1, namespace + 1))
+    return low + high
+
+
+_GENERATORS: Dict[str, Callable[..., List[int]]] = {
+    "uniform": uniform_ids,
+    "dense": dense_ids,
+    "clustered": clustered_ids,
+    "extreme": extreme_ids,
+}
+
+
+def make_ids(kind: str, n: int, seed: int = 0, namespace: int = DEFAULT_NAMESPACE) -> List[int]:
+    """Dispatch to a named generator."""
+    try:
+        generator = _GENERATORS[kind]
+    except KeyError:
+        known = ", ".join(sorted(_GENERATORS))
+        raise KeyError(f"unknown workload {kind!r}; known: {known}") from None
+    ids = generator(n, seed=seed, namespace=namespace)
+    if len(set(ids)) != n:
+        raise AssertionError(f"workload {kind} produced duplicate ids")
+    return ids
+
+
+def workload_names() -> List[str]:
+    """All registered workload kinds."""
+    return sorted(_GENERATORS)

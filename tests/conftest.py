@@ -1,0 +1,24 @@
+"""Pytest fixtures for the test suite.
+
+Importable helpers live in tests/helpers.py; this file only registers
+fixtures (pytest loads it by path, so it must not be imported by name).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import standard_ids
+
+
+@pytest.fixture
+def ids7():
+    """Seven evenly spaced ids (the canonical N=7, t=2 configuration)."""
+    return standard_ids(7)
+
+
+@pytest.fixture
+def ids11():
+    """Eleven evenly spaced ids (the canonical N=11, t=2 configuration for
+    Alg. 4, which needs N > 2t^2 + t)."""
+    return standard_ids(11)

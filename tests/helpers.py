@@ -1,0 +1,25 @@
+"""Shared helper functions for the test suite (import from here,
+not from conftest — conftest is pytest plumbing and its module name clashes
+with benchmarks/conftest.py when both trees are collected together)."""
+
+from __future__ import annotations
+
+from repro.analysis import check_renaming
+from repro.sim import RunResult
+
+
+def assert_renaming_ok(
+    result: RunResult,
+    namespace: int,
+    require_order: bool = True,
+    context: str = "",
+) -> None:
+    """Assert the four renaming properties on a run, with a readable message."""
+    report = check_renaming(result, namespace)
+    ok = report.ok if require_order else report.ok_without_order()
+    assert ok, f"{context} violations: {report.violations} names={report.names}"
+
+
+def standard_ids(n: int, spacing: int = 10, start: int = 10) -> list:
+    """Evenly spaced ids — the default deterministic workload for unit tests."""
+    return [start + spacing * index for index in range(n)]

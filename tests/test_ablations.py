@@ -1,0 +1,151 @@
+"""Ablation tests (experiment E9): each defense, removed, visibly fails.
+
+These tests pin down *why* the paper's design elements exist: the same
+attack that the full algorithm absorbs breaks the ablated variant.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from helpers import assert_renaming_ok, standard_ids
+from repro import (
+    OrderPreservingRenaming,
+    RenamingOptions,
+    TwoStepOptions,
+    TwoStepRenaming,
+    run_protocol,
+)
+from repro.adversary import make_adversary
+from repro.analysis import check_renaming
+
+SEEDS = range(6)
+
+
+def broken_runs(factory, n, t, attack, namespace):
+    count = 0
+    for seed in SEEDS:
+        result = run_protocol(
+            factory,
+            n=n,
+            t=t,
+            ids=standard_ids(n),
+            adversary=make_adversary(attack),
+            seed=seed,
+        )
+        report = check_renaming(result, namespace)
+        if not (report.uniqueness and report.order_preservation):
+            count += 1
+    return count
+
+
+class TestE9aValidation:
+    """isValid (Alg. 2) is the order-preservation linchpin."""
+
+    def test_full_algorithm_absorbs_divergence_attack(self):
+        for seed in SEEDS:
+            result = run_protocol(
+                OrderPreservingRenaming,
+                n=7,
+                t=2,
+                ids=standard_ids(7),
+                adversary=make_adversary("divergence"),
+                seed=seed,
+            )
+            assert_renaming_ok(result, 8, context=f"seed={seed}")
+
+    def test_ablated_validation_breaks(self):
+        factory = partial(
+            OrderPreservingRenaming,
+            options=RenamingOptions(validate_votes=False),
+        )
+        assert broken_runs(factory, 7, 2, "divergence", 8) == len(SEEDS)
+
+    def test_ablated_validation_survives_benign_faults(self):
+        """The ablation is only unsafe under the targeted attack — silence
+        alone does not break it (the defense is against *lies*)."""
+        factory = partial(
+            OrderPreservingRenaming,
+            options=RenamingOptions(validate_votes=False),
+        )
+        assert broken_runs(factory, 7, 2, "silent", 8) == 0
+
+
+class TestE9bClamp:
+    """Alg. 4's min(counter, N−t) clamp neutralises selective echo boosts."""
+
+    def test_full_algorithm_absorbs_starve_attack(self):
+        for seed in SEEDS:
+            result = run_protocol(
+                TwoStepRenaming,
+                n=11,
+                t=2,
+                ids=standard_ids(11),
+                adversary=make_adversary("selective-echo-starve"),
+                seed=seed,
+            )
+            assert_renaming_ok(result, 121, context=f"seed={seed}")
+
+    def test_ablated_clamp_breaks(self):
+        factory = partial(
+            TwoStepRenaming, options=TwoStepOptions(clamp_offsets=False)
+        )
+        assert broken_runs(factory, 11, 2, "selective-echo-starve", 121) == len(SEEDS)
+
+    def test_ablated_clamp_survives_benign_faults(self):
+        factory = partial(
+            TwoStepRenaming, options=TwoStepOptions(clamp_offsets=False)
+        )
+        assert broken_runs(factory, 11, 2, "silent", 121) == 0
+
+
+class TestE9cRoundSchedule:
+    """The Lemma IV.9 voting-round schedule is load-bearing.
+
+    The ``divergence-valid`` adversary seeds divergent accepted sets and
+    then *sustains* the divergence with per-recipient votes that each pass
+    ``isValid``. A single voting round leaves adjacent rounded ranks
+    colliding/inverting at the interleaved victims; the full schedule
+    contracts the spread away.
+    """
+
+    def test_truncated_voting_breaks(self):
+        factory = partial(
+            OrderPreservingRenaming, options=RenamingOptions(voting_rounds=1)
+        )
+        assert broken_runs(factory, 7, 2, "divergence-valid", 8) == len(SEEDS)
+
+    def test_full_schedule_absorbs(self):
+        assert broken_runs(OrderPreservingRenaming, 7, 2, "divergence-valid", 8) == 0
+
+    def test_full_schedule_absorbs_larger_t(self):
+        assert broken_runs(OrderPreservingRenaming, 13, 4, "divergence-valid", 16) == 0
+
+
+class TestE9dStretchAnalytic:
+    """The δ stretch's role is the *analytic* rounding margin.
+
+    With δ = 1 the convergence target (δ−1)/2 collapses to zero — the
+    Theorem IV.10 margin argument is void. Empirically the integer-grid
+    layouts our attacks can sustain through the validation filter never
+    realise a collision at laptop scales (a reproduction finding recorded in
+    EXPERIMENTS.md E9), so the checks here are the analytic collapse plus
+    behavioural equivalence on the attack library.
+    """
+
+    def test_margin_collapses_without_stretch(self):
+        from repro.core import SystemParams
+
+        params = SystemParams(7, 2)
+        assert params.convergence_target > 0  # with stretch
+        # Without the stretch the target (delta-1)/2 is exactly zero.
+        from fractions import Fraction
+
+        assert (Fraction(1) - 1) / 2 == 0
+
+    def test_no_stretch_survives_attacks_at_small_scale(self):
+        factory = partial(
+            OrderPreservingRenaming, options=RenamingOptions(stretch=False)
+        )
+        for attack in ("divergence", "divergence-valid", "rank-skew"):
+            assert broken_runs(factory, 7, 2, attack, 8) == 0

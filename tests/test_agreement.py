@@ -1,0 +1,212 @@
+"""Tests for the agreement substrates: Byzantine AA, EIG, Phase King."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import standard_ids
+from repro import SystemParams, run_protocol
+from repro.adversary import make_adversary
+from repro.agreement import (
+    ApproximateAgreement,
+    EIGInteractiveConsistency,
+    PhaseKingConsensus,
+    initial_values_factory,
+    make_identified_factory,
+)
+
+
+def aa_run(n, t, values_by_id, rounds, attack="silent", seed=0, ids=None):
+    ids = ids or sorted(values_by_id)
+    return run_protocol(
+        initial_values_factory(values_by_id, rounds=rounds),
+        n=n,
+        t=t,
+        ids=ids,
+        adversary=make_adversary(attack) if t else None,
+        seed=seed,
+    )
+
+
+class TestApproximateAgreement:
+    def test_validity_range_containment(self):
+        values = {10: Fraction(0), 20: Fraction(4), 30: Fraction(8),
+                  40: Fraction(2), 50: Fraction(6), 60: Fraction(1), 70: Fraction(3)}
+        result = aa_run(7, 2, values, rounds=5, attack="noise")
+        correct_inputs = [values[result.ids[i]] for i in result.correct]
+        for index in result.correct:
+            assert min(correct_inputs) <= result.outputs[index] <= max(correct_inputs)
+
+    def test_convergence_rate_at_least_sigma(self):
+        params = SystemParams(7, 2)
+        values = {identifier: Fraction(identifier) for identifier in standard_ids(7)}
+        rounds = 6
+        result = aa_run(7, 2, values, rounds=rounds, attack="noise", seed=3)
+        outputs = [result.outputs[i] for i in result.correct]
+        initial_spread = Fraction(60)
+        final_spread = max(outputs) - min(outputs)
+        assert final_spread <= initial_spread / params.sigma**rounds
+
+    def test_fault_free_single_round_converges(self):
+        values = {identifier: Fraction(identifier) for identifier in standard_ids(5)}
+        result = aa_run(5, 0, values, rounds=1)
+        outputs = {result.outputs[i] for i in result.correct}
+        assert len(outputs) == 1
+
+    def test_agreement_unaffected_by_silent_faults(self):
+        values = {identifier: Fraction(identifier) for identifier in standard_ids(7)}
+        result = aa_run(7, 2, values, rounds=6, attack="silent")
+        outputs = [result.outputs[i] for i in result.correct]
+        assert max(outputs) - min(outputs) < Fraction(1)
+
+    def test_requires_n_over_2t(self):
+        with pytest.raises(ValueError):
+            run_protocol(
+                initial_values_factory({1: Fraction(0), 2: Fraction(0),
+                                        3: Fraction(0), 4: Fraction(0)}, rounds=2),
+                n=4,
+                t=2,
+                ids=[1, 2, 3, 4],
+                seed=0,
+            )
+
+    def test_rejects_zero_rounds(self):
+        from repro.sim import ProcessContext
+
+        with pytest.raises(ValueError):
+            ApproximateAgreement(
+                ProcessContext(n=5, t=1, my_id=1), initial=Fraction(0), rounds=0
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        values=st.lists(
+            st.fractions(min_value=-50, max_value=50), min_size=7, max_size=7
+        ),
+        seed=st.integers(min_value=0, max_value=5),
+    )
+    def test_property_validity_and_contraction(self, values, seed):
+        ids = standard_ids(7)
+        values_by_id = dict(zip(ids, values))
+        result = aa_run(7, 2, values_by_id, rounds=4, attack="rank-skew", seed=seed)
+        correct_inputs = [values_by_id[result.ids[i]] for i in result.correct]
+        lo, hi = min(correct_inputs), max(correct_inputs)
+        outputs = [result.outputs[i] for i in result.correct]
+        assert all(lo <= out <= hi for out in outputs)
+        assert max(outputs) - min(outputs) <= (hi - lo) / 2**4 + Fraction(1, 10**9)
+
+
+class TestEIG:
+    def eig_factory(self, n, ids, seed, values_by_id):
+        return make_identified_factory(
+            n,
+            ids,
+            seed,
+            lambda ctx, me, links: EIGInteractiveConsistency(
+                ctx, me, links, value=values_by_id[ctx.my_id]
+            ),
+        )
+
+    @pytest.mark.parametrize("attack", ["silent", "noise", "replay"])
+    def test_interactive_consistency(self, attack):
+        n, t, seed = 7, 2, 4
+        ids = standard_ids(n)
+        values = {identifier: identifier * 3 for identifier in ids}
+        result = run_protocol(
+            self.eig_factory(n, ids, seed, values),
+            n=n,
+            t=t,
+            ids=ids,
+            adversary=make_adversary(attack),
+            seed=seed,
+        )
+        vectors = [result.outputs[i] for i in result.correct]
+        # Agreement: all correct processes output the same vector.
+        assert len(set(vectors)) == 1
+        # Validity: correct slots carry the real values.
+        vector = vectors[0]
+        for index in result.correct:
+            assert vector[index] == values[result.ids[index]]
+
+    def test_round_complexity_t_plus_one(self):
+        n, t, seed = 7, 2, 5
+        ids = standard_ids(n)
+        values = {identifier: 1 for identifier in ids}
+        result = run_protocol(
+            self.eig_factory(n, ids, seed, values),
+            n=n,
+            t=t,
+            ids=ids,
+            seed=seed,
+        )
+        assert result.metrics.round_count == t + 1
+
+    def test_requires_n_over_3t(self):
+        from repro.sim import ProcessContext
+
+        with pytest.raises(ValueError):
+            EIGInteractiveConsistency(
+                ProcessContext(n=6, t=2, my_id=1), 0, {}, value=1
+            )
+
+
+class TestPhaseKing:
+    def king_factory(self, n, ids, seed, values_by_id):
+        return make_identified_factory(
+            n,
+            ids,
+            seed,
+            lambda ctx, me, links: PhaseKingConsensus(
+                ctx, me, links, value=values_by_id[ctx.my_id]
+            ),
+        )
+
+    @pytest.mark.parametrize("attack", ["silent", "noise"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_agreement(self, attack, seed):
+        n, t = 9, 2
+        ids = standard_ids(n)
+        values = {identifier: index % 2 for index, identifier in enumerate(ids)}
+        result = run_protocol(
+            self.king_factory(n, ids, seed, values),
+            n=n,
+            t=t,
+            ids=ids,
+            adversary=make_adversary(attack),
+            seed=seed,
+        )
+        outputs = {result.outputs[i] for i in result.correct}
+        assert len(outputs) == 1
+
+    def test_validity_unanimous_input(self):
+        n, t, seed = 9, 2, 7
+        ids = standard_ids(n)
+        values = {identifier: 1 for identifier in ids}
+        result = run_protocol(
+            self.king_factory(n, ids, seed, values),
+            n=n,
+            t=t,
+            ids=ids,
+            adversary=make_adversary("noise"),
+            seed=seed,
+        )
+        assert all(result.outputs[i] == 1 for i in result.correct)
+
+    def test_round_complexity(self):
+        n, t, seed = 9, 2, 8
+        ids = standard_ids(n)
+        values = {identifier: 0 for identifier in ids}
+        result = run_protocol(
+            self.king_factory(n, ids, seed, values), n=n, t=t, ids=ids, seed=seed
+        )
+        assert result.metrics.round_count == 2 * (t + 1)
+
+    def test_requires_n_over_4t(self):
+        from repro.sim import ProcessContext
+
+        with pytest.raises(ValueError):
+            PhaseKingConsensus(ProcessContext(n=8, t=2, my_id=1), 0, {}, value=0)

@@ -1,0 +1,172 @@
+"""Tests for the analysis layer: property checker, stats, tables, sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import standard_ids
+from repro import OrderPreservingRenaming, run_protocol
+from repro.analysis import (
+    ALGORITHMS,
+    SweepConfig,
+    check_renaming,
+    format_table,
+    fraction_true,
+    group_by,
+    median_of,
+    ratios,
+    run_experiment,
+    run_sweep,
+    summarise,
+)
+
+
+def fake_result(names):
+    """A minimal RunResult stand-in for the property checker."""
+
+    class Stub:
+        def __init__(self, mapping):
+            self._mapping = mapping
+            self.correct = tuple(range(len(mapping)))
+
+        def new_names(self):
+            return dict(self._mapping)
+
+    return Stub(names)
+
+
+class TestCheckRenaming:
+    def test_ok_run(self):
+        report = check_renaming(fake_result({10: 1, 20: 2, 30: 3}), namespace=3)
+        assert report.ok
+        assert str(report).startswith("OK")
+
+    def test_validity_violation(self):
+        report = check_renaming(fake_result({10: 0, 20: 5}), namespace=3)
+        assert not report.validity
+        assert any("validity" in v for v in report.violations)
+
+    def test_uniqueness_violation(self):
+        report = check_renaming(fake_result({10: 2, 20: 2}), namespace=3)
+        assert not report.uniqueness
+        assert "uniqueness" in str(report)
+
+    def test_order_violation(self):
+        report = check_renaming(fake_result({10: 3, 20: 1}), namespace=3)
+        assert not report.order_preservation
+        assert report.ok_without_order()  # still valid, unique, terminated
+
+    def test_termination_violation(self):
+        report = check_renaming(
+            fake_result({10: 1}), namespace=3, expected_count=2
+        )
+        assert not report.termination
+
+    def test_real_run(self):
+        result = run_protocol(
+            OrderPreservingRenaming, n=7, t=2, ids=standard_ids(7), seed=0
+        )
+        assert check_renaming(result, 8).ok
+
+
+class TestStats:
+    def test_summarise(self):
+        summary = summarise([4, 1, 3, 2])
+        assert summary.count == 4
+        assert summary.minimum == 1 and summary.maximum == 4
+        assert summary.mean == 2.5 and summary.median == 2.5
+
+    def test_summarise_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarise([])
+
+    def test_median_odd(self):
+        assert median_of([1, 2, 9]) == 2
+
+    def test_fraction_true(self):
+        assert fraction_true([True, False, True, True]) == 0.75
+        assert fraction_true([]) == 0.0
+
+    def test_ratios(self):
+        assert ratios([2, 9], [4, 3]) == [0.5, 3.0]
+        with pytest.raises(ValueError):
+            ratios([1], [1, 2])
+
+
+class TestTables:
+    def test_alignment_and_rule(self):
+        text = format_table(["name", "count"], [["alpha", 10], ["b", 2]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert lines[2].endswith("10")
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestRunExperiment:
+    def test_alg1_record(self):
+        record = run_experiment("alg1", 7, 2, standard_ids(7), attack="noise", seed=1)
+        assert record.rounds == 10
+        assert record.report.ok
+        assert record.max_name <= 8
+        assert record.correct_messages > 0
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(KeyError):
+            run_experiment("nope", 7, 2, standard_ids(7))
+
+    def test_t_zero_runs_without_adversary(self):
+        record = run_experiment("alg1", 5, 0, standard_ids(5))
+        assert record.report.ok
+
+    def test_all_registered_algorithms_run(self):
+        sizes = {
+            "alg1": (7, 2),
+            "alg1-constant": (9, 2),
+            "alg4": (11, 2),
+            "okun-crash": (7, 2),
+            "cht": (7, 2),
+            "floodset": (7, 2),
+            "translated": (7, 2),
+            "consensus": (7, 2),
+        }
+        assert set(sizes) == set(ALGORITHMS)
+        for algorithm, (n, t) in sizes.items():
+            record = run_experiment(algorithm, n, t, standard_ids(n), attack="silent")
+            assert record.report.ok_without_order(), algorithm
+
+
+class TestSweep:
+    def test_configurations_respect_regimes(self):
+        config = SweepConfig(
+            algorithms=["alg4"], sizes=[(11, 2), (9, 2)], attacks=["silent"]
+        )
+        configs = list(config.configurations())
+        # (9, 2) is outside N > 2t^2 + t and must be skipped.
+        assert all(n == 11 for _, n, _, _, _ in configs)
+
+    def test_configurations_respect_attack_support(self):
+        config = SweepConfig(
+            algorithms=["okun-crash"],
+            sizes=[(7, 2)],
+            attacks=["silent", "id-forging"],
+        )
+        attacks = {attack for *_, attack, _ in config.configurations()}
+        assert attacks == {"silent"}
+
+    def test_run_sweep_and_group(self):
+        config = SweepConfig(
+            algorithms=["alg1"], sizes=[(7, 2)], attacks=["silent"], seeds=[0, 1]
+        )
+        records = run_sweep(config)
+        assert len(records) == 2
+        groups = group_by(records, "algorithm", "n")
+        assert list(groups) == [("alg1", 7)]
+        assert all(record.report.ok for record in records)

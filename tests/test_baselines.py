@@ -1,0 +1,321 @@
+"""Tests for the baseline algorithms (Okun crash, CHT, FloodSet, translated,
+consensus renaming) and the interval-splitting core."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from helpers import assert_renaming_ok, standard_ids
+from repro import run_protocol
+from repro.adversary import CrashAdversary, make_adversary
+from repro.baselines import (
+    BitSplitRenaming,
+    FloodSetRenaming,
+    Interval,
+    IntervalSplitter,
+    OkunCrashRenaming,
+    TranslatedByzantineRenaming,
+    consensus_renaming_factory,
+    interval_rounds,
+)
+
+CRASH_ATTACKS = ["silent", "conforming", "crash"]
+
+
+class TestInterval:
+    def test_children_partition(self):
+        interval = Interval(1, 8)
+        assert interval.left() == Interval(1, 4)
+        assert interval.right() == Interval(5, 8)
+
+    def test_odd_split_left_takes_ceiling(self):
+        interval = Interval(1, 5)
+        assert interval.left() == Interval(1, 3)
+        assert interval.right() == Interval(4, 5)
+
+    def test_singleton(self):
+        assert Interval(3, 3).is_singleton
+        assert not Interval(3, 4).is_singleton
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(5, 4)
+
+    @given(st.integers(1, 100), st.integers(0, 100))
+    def test_children_cover_parent(self, lo, width):
+        parent = Interval(lo, lo + width)
+        if parent.is_singleton:
+            return
+        left, right = parent.left(), parent.right()
+        assert left.lo == parent.lo and right.hi == parent.hi
+        assert left.hi + 1 == right.lo
+        assert left.size == (parent.size + 1) // 2
+
+
+class TestIntervalRounds:
+    @pytest.mark.parametrize("m,expected", [(1, 0), (2, 1), (3, 2), (8, 3), (9, 4)])
+    def test_values(self, m, expected):
+        assert interval_rounds(m) == expected
+
+
+class TestIntervalSplitter:
+    def test_consistent_views_assign_ranks(self):
+        """With everyone seeing everyone, splitter i lands on leaf i+1."""
+        ids = [30, 10, 20, 40]
+        splitters = {i: IntervalSplitter(i, 4) for i in ids}
+        for _ in range(interval_rounds(4) + 1):
+            claims = {}
+            for identifier, splitter in splitters.items():
+                claims.setdefault(splitter.claim(), []).append(identifier)
+            for identifier, splitter in splitters.items():
+                splitter.resolve(claims[splitter.claim()])
+        names = {identifier: s.decided for identifier, s in splitters.items()}
+        assert names == {10: 1, 20: 2, 30: 3, 40: 4}
+
+    def test_contested_singleton_rank1_stays(self):
+        splitter = IntervalSplitter(5, 1)
+        splitter.resolve([5, 9])
+        assert splitter.decided is None
+        assert splitter.claim() == (1, 1)
+
+    def test_contested_singleton_rank2_probes(self):
+        splitter = IntervalSplitter(9, 1)
+        splitter.resolve([5, 9])
+        assert splitter.decided is None
+        assert splitter.claim() == (2, 2)
+
+    def test_alone_singleton_decides(self):
+        splitter = IntervalSplitter(9, 1)
+        splitter.resolve([9])
+        assert splitter.decided == 1
+
+    def test_decided_is_sticky(self):
+        splitter = IntervalSplitter(9, 1)
+        splitter.resolve([9])
+        splitter.resolve([5, 9])  # ghosts after deciding change nothing
+        assert splitter.decided == 1
+
+    @given(
+        ids=st.lists(st.integers(1, 10**6), min_size=1, max_size=16, unique=True)
+    )
+    def test_consistent_views_strong_order_preserving(self, ids):
+        """Property: crash-free splitting gives names = ranks (strong and
+        order-preserving) within interval_rounds + 1 rounds."""
+        n = len(ids)
+        splitters = {identifier: IntervalSplitter(identifier, n) for identifier in ids}
+        for _ in range(interval_rounds(n) + 1):
+            claims = {}
+            for identifier, splitter in splitters.items():
+                claims.setdefault(splitter.claim(), []).append(identifier)
+            for identifier, splitter in splitters.items():
+                splitter.resolve(claims[splitter.claim()])
+        for rank, identifier in enumerate(sorted(ids), start=1):
+            assert splitters[identifier].decided == rank
+
+
+class TestOkunCrash:
+    @pytest.mark.parametrize("attack", CRASH_ATTACKS)
+    @pytest.mark.parametrize("n,t", [(5, 1), (7, 2), (9, 3)])
+    def test_strong_order_preserving(self, n, t, attack):
+        for seed in (0, 1):
+            result = run_protocol(
+                OkunCrashRenaming,
+                n=n,
+                t=t,
+                ids=standard_ids(n),
+                adversary=make_adversary(attack),
+                seed=seed,
+            )
+            assert_renaming_ok(
+                result, n, context=f"okun n={n} t={t} attack={attack} seed={seed}"
+            )
+
+    def test_round_complexity(self):
+        from repro import SystemParams
+
+        result = run_protocol(
+            OkunCrashRenaming,
+            n=7,
+            t=2,
+            ids=standard_ids(7),
+            adversary=make_adversary("crash"),
+            seed=0,
+        )
+        assert result.metrics.round_count == 2 + SystemParams(7, 2).voting_rounds
+
+    def test_fault_free_names_are_ranks(self):
+        result = run_protocol(OkunCrashRenaming, n=5, t=0, ids=[50, 10, 30, 20, 40], seed=0)
+        assert result.new_names() == {10: 1, 20: 2, 30: 3, 40: 4, 50: 5}
+
+
+class TestBitSplit:
+    @pytest.mark.parametrize("attack", CRASH_ATTACKS)
+    def test_uniqueness_and_namespace(self, attack):
+        n, t = 8, 2
+        for seed in (0, 1, 2):
+            result = run_protocol(
+                BitSplitRenaming,
+                n=n,
+                t=t,
+                ids=standard_ids(n),
+                adversary=make_adversary(attack),
+                seed=seed,
+            )
+            # Order preservation is NOT promised under crashes; namespace may
+            # overflow by at most the faults.
+            assert_renaming_ok(
+                result,
+                n + t,
+                require_order=False,
+                context=f"cht attack={attack} seed={seed}",
+            )
+
+    def test_crash_free_strong_and_order_preserving(self):
+        n = 8
+        result = run_protocol(BitSplitRenaming, n=n, t=0, ids=standard_ids(n), seed=0)
+        assert_renaming_ok(result, n)
+        assert sorted(result.new_names().values()) == list(range(1, n + 1))
+
+    def test_crash_free_decision_latency_logarithmic(self):
+        n = 16
+        result = run_protocol(
+            BitSplitRenaming, n=n, t=0, ids=standard_ids(n), seed=0,
+            collect_trace=True,
+        )
+        settled = [
+            e.round_no for e in result.trace.select(event="settled")
+        ]
+        # Descend log2(n) levels, then one confirmation round alone at the
+        # singleton.
+        assert max(settled) == interval_rounds(n) + 1
+
+
+class TestFloodSet:
+    @pytest.mark.parametrize("attack", CRASH_ATTACKS)
+    def test_strong_order_preserving(self, attack):
+        n, t = 7, 2
+        for seed in (0, 1):
+            result = run_protocol(
+                FloodSetRenaming,
+                n=n,
+                t=t,
+                ids=standard_ids(n),
+                adversary=make_adversary(attack),
+                seed=seed,
+            )
+            assert_renaming_ok(result, n, context=f"floodset {attack} seed={seed}")
+
+    def test_round_complexity_t_plus_one(self):
+        result = run_protocol(
+            FloodSetRenaming, n=7, t=2, ids=standard_ids(7),
+            adversary=make_adversary("crash"), seed=0,
+        )
+        assert result.metrics.round_count == 3
+
+    def test_mid_round_crash_sets_converge(self):
+        """The FloodSet argument: even with partial crash deliveries every
+        correct process ends with the same known set."""
+        for seed in range(5):
+            result = run_protocol(
+                FloodSetRenaming,
+                n=7,
+                t=2,
+                ids=standard_ids(7),
+                adversary=CrashAdversary(horizon=3),
+                seed=seed,
+                collect_trace=True,
+            )
+            sets = {
+                e.detail
+                for e in result.trace.select(event="known")
+                if e.process in result.correct
+            }
+            assert len(sets) == 1, f"seed={seed}: divergent known sets {sets}"
+
+
+class TestTranslated:
+    @pytest.mark.parametrize("attack", CRASH_ATTACKS)
+    def test_uniqueness_and_doubled_namespace(self, attack):
+        n, t = 7, 2
+        for seed in (0, 1):
+            result = run_protocol(
+                TranslatedByzantineRenaming,
+                n=n,
+                t=t,
+                ids=standard_ids(n),
+                adversary=make_adversary(attack),
+                seed=seed,
+            )
+            assert_renaming_ok(
+                result,
+                2 * n,
+                require_order=False,
+                context=f"translated {attack} seed={seed}",
+            )
+
+    def test_requires_n_over_3t(self):
+        with pytest.raises(ValueError):
+            run_protocol(
+                TranslatedByzantineRenaming, n=6, t=2, ids=standard_ids(6), seed=0
+            )
+
+    def test_slower_than_alg1(self):
+        """The cost-envelope point: echo-doubled split rounds exceed Alg. 1's
+        3·log t + 7 at equal (n, t)."""
+        from repro import OrderPreservingRenaming, SystemParams
+
+        n, t = 7, 2
+        translated = run_protocol(
+            TranslatedByzantineRenaming,
+            n=n,
+            t=t,
+            ids=standard_ids(n),
+            adversary=make_adversary("silent"),
+            seed=0,
+            collect_trace=True,
+        )
+        latency = max(
+            e.round_no for e in translated.trace.select(event="settled")
+        )
+        assert latency > SystemParams(n, t).total_rounds
+
+
+class TestConsensusRenaming:
+    @pytest.mark.parametrize("attack", ["silent", "noise", "crash"])
+    def test_strong_order_preserving(self, attack):
+        n, t = 7, 2
+        for seed in (0, 1):
+            ids = standard_ids(n)
+            result = run_protocol(
+                consensus_renaming_factory(n, ids, seed),
+                n=n,
+                t=t,
+                ids=ids,
+                adversary=make_adversary(attack),
+                seed=seed,
+            )
+            assert_renaming_ok(result, n, context=f"consensus {attack} seed={seed}")
+
+    def test_round_complexity_linear_in_t(self):
+        for t in (1, 2, 3):
+            n = 3 * t + 1
+            ids = standard_ids(n)
+            result = run_protocol(
+                consensus_renaming_factory(n, ids, 0), n=n, t=t, ids=ids, seed=0
+            )
+            assert result.metrics.round_count == t + 1
+
+    def test_message_size_exponential(self):
+        """EIG messages blow up with t — the reason the paper avoids
+        consensus. Peak message size at t=3 dwarfs t=1."""
+        peaks = {}
+        for t in (1, 3):
+            n = 3 * t + 1
+            ids = standard_ids(n)
+            result = run_protocol(
+                consensus_renaming_factory(n, ids, 0), n=n, t=t, ids=ids, seed=0
+            )
+            peaks[t] = result.metrics.peak_message_bits
+        assert peaks[3] > 10 * peaks[1]

@@ -1,0 +1,121 @@
+"""Tests for the synchronous Echo/Ready reliable broadcast (Bracha [4])."""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import standard_ids
+from repro import run_protocol
+from repro.adversary import make_adversary
+from repro.broadcast import (
+    NO_DELIVERY,
+    RELIABLE_BROADCAST_ROUNDS,
+    InitialMessage,
+    make_rb_factory,
+)
+from repro.sim import Adversary
+
+
+def rb_run(n, t, source_index, value, attack=None, seed=0, byzantine=(), adversary=None):
+    ids = standard_ids(n)
+    factory = make_rb_factory(n, ids, seed=seed, source_index=source_index, value=value)
+    if adversary is None and attack is not None:
+        adversary = make_adversary(attack)
+    return run_protocol(
+        factory,
+        n=n,
+        t=t,
+        ids=ids,
+        byzantine=byzantine,
+        adversary=adversary,
+        seed=seed,
+    )
+
+
+class TestCorrectSource:
+    @pytest.mark.parametrize("attack", ["silent", "noise", "replay"])
+    def test_everyone_delivers_source_value(self, attack):
+        result = rb_run(7, 2, source_index=0, value=42, attack=attack,
+                        byzantine=[3, 4])
+        for index in result.correct:
+            assert result.outputs[index] == 42
+
+    def test_round_complexity(self):
+        result = rb_run(7, 2, source_index=0, value=42, attack="silent",
+                        byzantine=[3, 4])
+        assert result.metrics.round_count == RELIABLE_BROADCAST_ROUNDS
+
+    def test_fault_free(self):
+        result = rb_run(5, 0, source_index=2, value=9)
+        assert all(result.outputs[i] == 9 for i in result.correct)
+
+
+class TestByzantineSource:
+    def test_silent_byzantine_source_nobody_delivers(self):
+        result = rb_run(7, 2, source_index=0, value=42, attack="silent",
+                        byzantine=[0, 1])
+        for index in result.correct:
+            assert result.outputs[index] == NO_DELIVERY
+
+    def test_equivocating_source_agreement(self):
+        """A source sending different values to different halves: either all
+        correct processes deliver the same value or none deliver."""
+
+        class EquivocatingSource(Adversary):
+            def send(self, round_no, correct_outboxes):
+                if round_no != 1:
+                    return {}
+                source = self.ctx.byzantine[0]
+                outbox = {}
+                for peer in self.ctx.correct:
+                    link = self.ctx.topology.label_of(source, peer)
+                    value = 100 if peer % 2 == 0 else 200
+                    outbox[link] = [InitialMessage(value)]
+                return {source: outbox}
+
+        for seed in range(4):
+            result = rb_run(
+                7, 2, source_index=0, value=0, byzantine=[0, 1],
+                adversary=EquivocatingSource(), seed=seed,
+            )
+            delivered = {
+                result.outputs[i]
+                for i in result.correct
+                if result.outputs[i] != NO_DELIVERY
+            }
+            assert len(delivered) <= 1, f"seed={seed}: split delivery {delivered}"
+
+    def test_source_helped_by_colluder_agreement(self):
+        """Byzantine source + colluding echoer still cannot split correct
+        processes onto two values (N-t echo quorums intersect)."""
+
+        class SplitEcho(Adversary):
+            def send(self, round_no, correct_outboxes):
+                from repro.broadcast import EchoValueMessage, ReadyValueMessage
+
+                outboxes = {}
+                for slot in self.ctx.byzantine:
+                    outbox = {}
+                    for peer in self.ctx.correct:
+                        link = self.ctx.topology.label_of(slot, peer)
+                        value = 100 if peer % 2 == 0 else 200
+                        if round_no == 1 and slot == self.ctx.byzantine[0]:
+                            outbox[link] = [InitialMessage(value)]
+                        elif round_no == 2:
+                            outbox[link] = [EchoValueMessage(value)]
+                        elif round_no >= 3:
+                            outbox[link] = [ReadyValueMessage(value)]
+                    outboxes[slot] = outbox
+                return outboxes
+
+        for seed in range(4):
+            result = rb_run(
+                7, 2, source_index=0, value=0, byzantine=[0, 1],
+                adversary=SplitEcho(), seed=seed,
+            )
+            delivered = {
+                result.outputs[i]
+                for i in result.correct
+                if result.outputs[i] != NO_DELIVERY
+            }
+            assert len(delivered) <= 1

@@ -1,0 +1,115 @@
+"""Tests for the command-line driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_arguments(self):
+        args = build_parser().parse_args(
+            ["run", "--algorithm", "alg1", "--n", "7", "--t", "2"]
+        )
+        assert args.algorithm == "alg1"
+        assert args.attack == "silent"
+
+    def test_size_parsing(self):
+        args = build_parser().parse_args(
+            ["sweep", "--algorithms", "alg1", "--sizes", "7:2", "10:3"]
+        )
+        assert args.sizes == [(7, 2), (10, 3)]
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "--algorithms", "alg1", "--sizes", "7-2"]
+            )
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--algorithm", "bogus", "--n", "7", "--t", "2"]
+            )
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "alg1" in out and "id-forging" in out and "uniform" in out
+
+    def test_run_ok(self, capsys):
+        code = main(
+            ["run", "--algorithm", "alg1", "--n", "7", "--t", "2",
+             "--attack", "id-forging", "--seed", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "->" in out
+
+    def test_run_alg4(self, capsys):
+        code = main(
+            ["run", "--algorithm", "alg4", "--n", "11", "--t", "2",
+             "--attack", "selective-echo"]
+        )
+        assert code == 0
+
+    def test_scenario(self, capsys):
+        code = main(["scenario", "saturation"])
+        assert code == 0
+        assert "forging" in capsys.readouterr().out
+
+    def test_sweep(self, capsys):
+        code = main(
+            ["sweep", "--algorithms", "alg1", "alg4", "--sizes", "7:2", "11:2",
+             "--attacks", "silent", "noise", "--seeds", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "alg1" in out and "alg4" in out
+
+    def test_sweep_csv(self, capsys, tmp_path):
+        target = tmp_path / "out.csv"
+        code = main(
+            ["sweep", "--algorithms", "alg1", "--sizes", "7:2",
+             "--attacks", "silent", "--csv", str(target)]
+        )
+        assert code == 0
+        assert target.exists()
+        assert "algorithm" in target.read_text().splitlines()[0]
+
+    def test_bounds(self, capsys):
+        code = main(["bounds", "7:2", "11:2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "N>3t" in out and "28/27" in out
+
+    def test_inspect(self, capsys):
+        code = main(
+            ["inspect", "--algorithm", "alg1", "--n", "7", "--t", "2",
+             "--attack", "divergence", "--seed", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rank spread" in out
+        assert "accepted-set views" in out
+        assert "properties: OK" in out
+
+    def test_inspect_save(self, capsys, tmp_path):
+        target = tmp_path / "run.json"
+        code = main(
+            ["inspect", "--algorithm", "alg1", "--n", "7", "--t", "2",
+             "--save", str(target)]
+        )
+        assert code == 0
+        from repro.analysis import load_run
+
+        archive = load_run(target)
+        assert archive.n == 7

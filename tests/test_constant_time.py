@@ -1,0 +1,103 @@
+"""Integration tests for the constant-time strong variant (Section V)."""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import assert_renaming_ok, standard_ids
+from repro import ConstantTimeRenaming, SystemParams, run_protocol
+from repro.adversary import ALG1_ATTACKS, make_adversary
+
+# (n, t) pairs inside N > t^2 + 2t.
+SIZES = [(4, 1), (9, 2), (16, 3)]
+
+
+class TestTheoremV3:
+    @pytest.mark.parametrize("attack", ALG1_ATTACKS)
+    @pytest.mark.parametrize("n,t", SIZES)
+    def test_strong_renaming_under_attack(self, n, t, attack):
+        result = run_protocol(
+            ConstantTimeRenaming,
+            n=n,
+            t=t,
+            ids=standard_ids(n),
+            adversary=make_adversary(attack),
+            seed=0,
+        )
+        # Lemma V.1: namespace is exactly N — strong renaming.
+        assert_renaming_ok(
+            result, n, context=f"constant n={n} t={t} attack={attack}"
+        )
+
+    @pytest.mark.parametrize("n,t", SIZES)
+    def test_exactly_eight_rounds(self, n, t):
+        result = run_protocol(
+            ConstantTimeRenaming,
+            n=n,
+            t=t,
+            ids=standard_ids(n),
+            adversary=make_adversary("rank-skew"),
+            seed=1,
+        )
+        assert result.metrics.round_count == 8
+
+    def test_regime_enforced(self):
+        # n=8, t=2 has N <= t^2 + 2t = 8.
+        with pytest.raises(ValueError):
+            run_protocol(
+                ConstantTimeRenaming, n=8, t=2, ids=standard_ids(8), seed=0
+            )
+
+    def test_round_count_independent_of_t(self):
+        rounds = set()
+        for n, t in SIZES:
+            result = run_protocol(
+                ConstantTimeRenaming,
+                n=n,
+                t=t,
+                ids=standard_ids(n),
+                adversary=make_adversary("silent"),
+                seed=0,
+            )
+            rounds.add(result.metrics.round_count)
+        assert rounds == {8}
+
+    def test_lemma_v1_forging_cannot_add_ids(self):
+        """In the constant-time regime the forging budget collapses:
+        |accepted| stays exactly N even under the saturation attack."""
+        result = run_protocol(
+            ConstantTimeRenaming,
+            n=9,
+            t=2,
+            ids=standard_ids(9),
+            adversary=make_adversary("id-forging"),
+            seed=0,
+            collect_trace=True,
+        )
+        for event in result.trace.select(event="accepted"):
+            if event.process in result.correct:
+                assert len(event.detail) == 9
+
+    def test_lemma_v2_spread_after_four_rounds(self):
+        """After the 4 scheduled voting rounds the correct ranks for every
+        correct id sit within (delta-1)/2 of each other."""
+        params = SystemParams(9, 2)
+        result = run_protocol(
+            ConstantTimeRenaming,
+            n=9,
+            t=2,
+            ids=standard_ids(9),
+            adversary=make_adversary("boundary-votes"),
+            seed=0,
+            collect_trace=True,
+        )
+        final_round = 8
+        snapshots = [
+            e.detail
+            for e in result.trace.select(event="ranks", round_no=final_round)
+            if e.process in result.correct
+        ]
+        correct_ids = {result.ids[i] for i in result.correct}
+        for identifier in correct_ids:
+            values = [s[identifier] for s in snapshots]
+            assert max(values) - min(values) < params.convergence_target

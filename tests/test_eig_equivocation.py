@@ -1,0 +1,105 @@
+"""Targeted EIG attack: equivocating relays about a victim's value.
+
+The classic hard case for exponential information gathering: a Byzantine
+source claims different values to different processes, and a Byzantine
+relay amplifies the confusion by lying about what it heard. EIG's majority
+resolution over ``t + 1`` levels must still land every correct process on
+the *same* vector (agreement), with correct processes' entries exact
+(validity).
+"""
+
+from __future__ import annotations
+
+from helpers import standard_ids
+from repro import run_protocol
+from repro.agreement import EIGInteractiveConsistency, make_identified_factory
+from repro.agreement.eig import RelayMessage
+from repro.sim import Adversary
+
+
+class EquivocatingEIGAdversary(Adversary):
+    """Slot A announces per-recipient values; slot B relays contradictions.
+
+    Implemented against the identified model the EIG baseline runs in: the
+    adversary knows its slots' global indices (they are the slot numbers)
+    and fabricates tree entries accordingly.
+    """
+
+    def send(self, round_no, correct_outboxes):
+        outboxes = {}
+        liar, relay = self.ctx.byzantine[0], self.ctx.byzantine[-1]
+        for slot in self.ctx.byzantine:
+            outbox = {}
+            for peer in self.ctx.correct:
+                link = self.ctx.topology.label_of(slot, peer)
+                if round_no == 1:
+                    # Level-0 claims: the liar equivocates per peer parity.
+                    value = 100 + (peer % 2) if slot == liar else 7
+                    outbox[link] = [RelayMessage(entries=(((), value),))]
+                else:
+                    # Later levels: relay contradictory reports about the
+                    # liar's claim, plus garbage about a correct process.
+                    victim = self.ctx.correct[0]
+                    entries = (
+                        ((liar,) * (round_no - 1), 200 + peer % 2),
+                        ((victim,) + (liar,) * (round_no - 2), 999)
+                        if round_no >= 2
+                        else ((liar,), 200),
+                    )
+                    outbox[link] = [RelayMessage(entries=entries)]
+            outboxes[slot] = outbox
+        return outboxes
+
+
+class TestEIGEquivocation:
+    def run_eig(self, seed):
+        n, t = 7, 2
+        ids = standard_ids(n)
+        values = {identifier: identifier for identifier in ids}
+        factory = make_identified_factory(
+            n,
+            ids,
+            seed,
+            lambda ctx, me, links: EIGInteractiveConsistency(
+                ctx, me, links, value=values[ctx.my_id]
+            ),
+        )
+        return run_protocol(
+            factory,
+            n=n,
+            t=t,
+            ids=ids,
+            byzantine=[0, 3],
+            adversary=EquivocatingEIGAdversary(),
+            seed=seed,
+        )
+
+    def test_agreement_despite_equivocation(self):
+        for seed in range(4):
+            result = self.run_eig(seed)
+            vectors = {result.outputs[i] for i in result.correct}
+            assert len(vectors) == 1, f"seed={seed}: split vectors {vectors}"
+
+    def test_validity_for_correct_entries(self):
+        result = self.run_eig(0)
+        vector = next(iter(result.outputs[i] for i in result.correct))
+        for index in result.correct:
+            assert vector[index] == result.ids[index]
+
+    def test_consensus_renaming_survives_equivocation(self):
+        from helpers import assert_renaming_ok
+        from repro.baselines import consensus_renaming_factory
+
+        n, t = 7, 2
+        ids = standard_ids(n)
+        for seed in range(3):
+            result = run_protocol(
+                consensus_renaming_factory(n, ids, seed),
+                n=n,
+                t=t,
+                ids=ids,
+                byzantine=[0, 3],
+                adversary=EquivocatingEIGAdversary(),
+                seed=seed,
+            )
+            assert_renaming_ok(result, n, context=f"seed={seed}")

@@ -1,0 +1,45 @@
+"""Smoke tests: every example script runs clean and says what it promises.
+
+Examples are documentation that executes; letting them rot defeats their
+purpose. Each runs in-process (import-free via runpy, so their module-level
+guards work) and must exit without error and print its key claims.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+EXPECTED_SNIPPETS = {
+    "quickstart.py": "order preservation verified",
+    "priority_arbitration.py": "no priority inversion",
+    "tdma_slot_assignment.py": "assigned in 2 rounds",
+    "attack_gallery.py": "attacks absorbed",
+    "algorithm_comparison.py": "reading guide",
+    "early_deciding.py": "never corrupt a frozen decision",
+}
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[script.name for script in EXAMPLES]
+)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    snippet = EXPECTED_SNIPPETS[script.name]
+    assert snippet in out, f"{script.name} lost its conclusion line"
+
+
+def test_every_example_covered():
+    assert {s.name for s in EXAMPLES} == set(EXPECTED_SNIPPETS)
+
+
+def test_at_least_five_examples():
+    assert len(EXAMPLES) >= 5

@@ -1,0 +1,259 @@
+"""Integration tests for the 2-step algorithm (Theorem VI.3 and its lemmas)."""
+
+from __future__ import annotations
+
+from functools import partial
+
+import pytest
+
+from helpers import assert_renaming_ok, standard_ids
+from repro import SystemParams, TwoStepOptions, TwoStepRenaming, run_protocol
+from repro.adversary import ALG4_ATTACKS, make_adversary
+
+# (n, t) pairs inside N > 2t^2 + t.
+SIZES = [(4, 1), (11, 2), (22, 3)]
+
+
+class TestTheoremVI3:
+    @pytest.mark.parametrize("attack", ALG4_ATTACKS)
+    @pytest.mark.parametrize("n,t", SIZES)
+    def test_properties_hold_under_attack(self, n, t, attack):
+        params = SystemParams(n, t)
+        for seed in (0, 1):
+            result = run_protocol(
+                TwoStepRenaming,
+                n=n,
+                t=t,
+                ids=standard_ids(n),
+                adversary=make_adversary(attack),
+                seed=seed,
+            )
+            assert_renaming_ok(
+                result,
+                params.fast_namespace_bound,
+                context=f"alg4 n={n} t={t} attack={attack} seed={seed}",
+            )
+
+    @pytest.mark.parametrize("n,t", SIZES)
+    def test_exactly_two_rounds(self, n, t):
+        result = run_protocol(
+            TwoStepRenaming,
+            n=n,
+            t=t,
+            ids=standard_ids(n),
+            adversary=make_adversary("selective-echo"),
+            seed=0,
+        )
+        assert result.metrics.round_count == 2
+
+    def test_regime_enforced(self):
+        # n=10, t=2 has N <= 2t^2 + t = 10.
+        with pytest.raises(ValueError):
+            run_protocol(TwoStepRenaming, n=10, t=2, ids=standard_ids(10), seed=0)
+
+    def test_fault_free_names_are_multiples_of_n(self):
+        result = run_protocol(TwoStepRenaming, n=5, t=0, ids=standard_ids(5), seed=0)
+        # Every id echoed by all N processes; clamp is N-0; names accumulate N.
+        assert sorted(result.new_names().values()) == [5, 10, 15, 20, 25]
+
+
+class TestLemmaVI1:
+    def test_discrepancy_at_most_2t_squared(self):
+        """Under the selective-echo worst case, the same correct id's name
+        estimate differs across correct processes by at most 2t^2."""
+        n, t = 11, 2
+        result = run_protocol(
+            TwoStepRenaming,
+            n=n,
+            t=t,
+            ids=standard_ids(n),
+            adversary=make_adversary("selective-echo"),
+            seed=0,
+        )
+        bound = SystemParams(n, t).fast_discrepancy_bound
+        estimates = {}
+        for index in result.correct:
+            process = result.processes[index]
+            for identifier, name in process.new_names.items():
+                estimates.setdefault(identifier, []).append(name)
+        correct_ids = {result.ids[i] for i in result.correct}
+        observed = 0
+        for identifier in correct_ids:
+            values = estimates[identifier]
+            observed = max(observed, max(values) - min(values))
+        assert observed <= bound
+        # The attack actually realises a non-trivial discrepancy.
+        assert observed > 0
+
+    def test_attack_achieves_exactly_2t_squared(self):
+        n, t = 11, 2
+        result = run_protocol(
+            TwoStepRenaming,
+            n=n,
+            t=t,
+            ids=standard_ids(n),
+            adversary=make_adversary("selective-echo"),
+            seed=0,
+        )
+        top_id = max(result.ids[i] for i in result.correct)
+        values = [
+            result.processes[i].new_names[top_id] for i in result.correct
+        ]
+        assert max(values) - min(values) == 2 * t * t
+
+
+class TestLemmaVI2:
+    @pytest.mark.parametrize("attack", ALG4_ATTACKS)
+    def test_gap_between_correct_names_at_least_n_minus_t(self, attack):
+        n, t = 11, 2
+        result = run_protocol(
+            TwoStepRenaming,
+            n=n,
+            t=t,
+            ids=standard_ids(n),
+            adversary=make_adversary(attack),
+            seed=0,
+        )
+        for index in result.correct:
+            process = result.processes[index]
+            correct_ids = sorted(result.ids[i] for i in result.correct)
+            for smaller, larger in zip(correct_ids, correct_ids[1:]):
+                gap = process.new_names[larger] - process.new_names[smaller]
+                assert gap >= n - t, f"attack={attack}: gap {gap} < {n - t}"
+
+
+class TestBelowThreshold:
+    def test_order_breaks_below_fast_regime(self):
+        """The crossover: at N <= 2t^2 + t the selective-echo attack
+        actually breaks order preservation (resilience check disabled)."""
+        options = TwoStepOptions(enforce_resilience=False)
+        broke = 0
+        for seed in range(6):
+            result = run_protocol(
+                partial(TwoStepRenaming, options=options),
+                n=9,
+                t=2,
+                ids=standard_ids(9),
+                adversary=make_adversary("selective-echo"),
+                seed=seed,
+            )
+            names = result.new_names()
+            ordered = sorted(names)
+            values = [names[i] for i in ordered]
+            if values != sorted(values):
+                broke += 1
+        assert broke > 0
+
+    def test_honest_runs_fine_below_threshold(self):
+        """Below the regime the algorithm still renames correctly when the
+        adversary stays quiet — the bound is about worst-case safety."""
+        options = TwoStepOptions(enforce_resilience=False)
+        result = run_protocol(
+            partial(TwoStepRenaming, options=options),
+            n=9,
+            t=2,
+            ids=standard_ids(9),
+            adversary=make_adversary("silent"),
+            seed=0,
+        )
+        assert_renaming_ok(result, 81)
+
+
+class TestRobustness:
+    def test_multiple_multiechoes_on_one_link_count_once(self):
+        """A Byzantine link cannot double-count echoes by sending many
+        MultiEcho messages (the first one per link wins)."""
+        from typing import Dict, Mapping
+
+        from repro.core.messages import IdMessage, MultiEchoMessage
+        from repro.sim import Adversary, Outbox
+
+        class DoubleEcho(Adversary):
+            def send(self, round_no, correct_outboxes):
+                ids = sorted(self.ctx.ids[i] for i in self.ctx.correct)
+                if round_no == 1:
+                    message = IdMessage(ids[0])
+                else:
+                    message = MultiEchoMessage.from_ids(ids)
+                return {
+                    slot: {
+                        link: [message] * 5 for link in self.ctx.topology.labels()
+                    }
+                    for slot in self.ctx.byzantine
+                }
+
+        n, t = 11, 2
+        result = run_protocol(
+            TwoStepRenaming,
+            n=n,
+            t=t,
+            ids=standard_ids(n),
+            adversary=DoubleEcho(),
+            seed=0,
+        )
+        assert_renaming_ok(result, SystemParams(n, t).fast_namespace_bound)
+        # Counters never exceed N even with quintuple echoes.
+        for index in result.correct:
+            for count in result.processes[index].counter.values():
+                assert count <= n
+
+    def test_oversized_multiecho_rejected(self):
+        from repro.core.messages import IdMessage, MultiEchoMessage
+        from repro.sim import Adversary
+
+        class Oversize(Adversary):
+            def send(self, round_no, correct_outboxes):
+                ids = sorted(self.ctx.ids[i] for i in self.ctx.correct)
+                if round_no == 1:
+                    message = IdMessage(ids[0])
+                else:
+                    bloated = ids + list(range(10**6, 10**6 + 20))
+                    message = MultiEchoMessage.from_ids(bloated)
+                return {
+                    slot: {link: [message] for link in self.ctx.topology.labels()}
+                    for slot in self.ctx.byzantine
+                }
+
+        n, t = 11, 2
+        result = run_protocol(
+            TwoStepRenaming,
+            n=n,
+            t=t,
+            ids=standard_ids(n),
+            adversary=Oversize(),
+            seed=0,
+        )
+        # Oversized echoes are dropped wholesale: no bloat id gets a counter.
+        for index in result.correct:
+            for identifier in result.processes[index].counter:
+                assert identifier < 10**6
+
+    def test_echo_from_unannounced_link_rejected(self):
+        from repro.core.messages import MultiEchoMessage
+        from repro.sim import Adversary
+
+        class NoAnnounce(Adversary):
+            def send(self, round_no, correct_outboxes):
+                if round_no == 1:
+                    return {}  # never announce
+                ids = sorted(self.ctx.ids[i] for i in self.ctx.correct)
+                message = MultiEchoMessage.from_ids(ids)
+                return {
+                    slot: {link: [message] for link in self.ctx.topology.labels()}
+                    for slot in self.ctx.byzantine
+                }
+
+        n, t = 11, 2
+        result = run_protocol(
+            TwoStepRenaming,
+            n=n,
+            t=t,
+            ids=standard_ids(n),
+            adversary=NoAnnounce(),
+            seed=0,
+        )
+        # Correct counters cap at the N-t honest echoes; the unannounced
+        # Byzantine echoes must not have been counted.
+        for index in result.correct:
+            for count in result.processes[index].counter.values():
+                assert count <= n - t

@@ -1,0 +1,96 @@
+"""Adversary fuzzing: hypothesis searches seed space for property breaks.
+
+Every discovered failure is a replayable counterexample (the seed fully
+determines the run). None should exist — Theorem IV.10/VI.3 quantify over
+all adversaries, and the fuzzer's behaviour atoms are all legal Byzantine
+behaviours.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    OrderPreservingRenaming,
+    SystemParams,
+    TwoStepRenaming,
+    run_protocol,
+)
+from repro.adversary import FuzzAdversary
+from repro.analysis import check_renaming
+from repro.workloads import make_ids
+
+COMMON = dict(
+    deadline=None,
+    max_examples=40,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@settings(**COMMON)
+@given(
+    seed=st.integers(min_value=0, max_value=10**9),
+    t=st.integers(min_value=1, max_value=3),
+    slack=st.integers(min_value=0, max_value=3),
+    intensity=st.floats(min_value=0.1, max_value=1.0),
+)
+def test_fuzz_alg1(seed, t, slack, intensity):
+    n = 3 * t + 1 + slack
+    ids = make_ids("uniform", n, seed=seed)
+    result = run_protocol(
+        OrderPreservingRenaming,
+        n=n,
+        t=t,
+        ids=ids,
+        adversary=FuzzAdversary(intensity=intensity),
+        seed=seed,
+    )
+    report = check_renaming(result, SystemParams(n, t).namespace_bound)
+    assert report.ok, (seed, n, t, intensity, report.violations)
+
+
+@settings(**COMMON)
+@given(
+    seed=st.integers(min_value=0, max_value=10**9),
+    t=st.integers(min_value=1, max_value=2),
+    slack=st.integers(min_value=0, max_value=3),
+)
+def test_fuzz_alg4(seed, t, slack):
+    n = 2 * t * t + t + 1 + slack
+    ids = make_ids("uniform", n, seed=seed)
+    result = run_protocol(
+        TwoStepRenaming,
+        n=n,
+        t=t,
+        ids=ids,
+        adversary=FuzzAdversary(),
+        seed=seed,
+    )
+    report = check_renaming(result, SystemParams(n, t).fast_namespace_bound)
+    assert report.ok, (seed, n, t, report.violations)
+
+
+@settings(**COMMON)
+@given(seed=st.integers(min_value=0, max_value=10**9))
+def test_fuzz_early_deciding(seed):
+    """The early-deciding extension must survive fuzzing too: freezing can
+    only happen at genuine fixed points."""
+    from functools import partial
+
+    from repro import RenamingOptions
+
+    n, t = 7, 2
+    result = run_protocol(
+        partial(
+            OrderPreservingRenaming,
+            options=RenamingOptions(early_deciding=True),
+        ),
+        n=n,
+        t=t,
+        ids=make_ids("uniform", n, seed=seed),
+        adversary=FuzzAdversary(),
+        seed=seed,
+    )
+    report = check_renaming(result, SystemParams(n, t).namespace_bound)
+    assert report.ok, (seed, report.violations)

@@ -1,0 +1,50 @@
+"""Tests for the identified-model bridge."""
+
+from __future__ import annotations
+
+from repro.agreement import make_identified_factory
+from repro.sim import FullMeshTopology, Process, ProcessContext
+
+
+class Probe(Process):
+    def __init__(self, ctx, my_index, link_to_index):
+        super().__init__(ctx)
+        self.my_index = my_index
+        self.link_to_index = link_to_index
+
+    def send(self, round_no):
+        return {}
+
+    def deliver(self, round_no, inbox):
+        self.output_value = True
+
+
+class TestMakeIdentifiedFactory:
+    def test_indices_follow_id_order(self):
+        ids = [50, 10, 30]
+        factory = make_identified_factory(3, ids, seed=4, build=Probe)
+        for index, identifier in enumerate(ids):
+            probe = factory(ProcessContext(n=3, t=0, my_id=identifier))
+            assert probe.my_index == index
+
+    def test_link_map_matches_topology(self):
+        n, seed = 5, 9
+        ids = [100, 200, 300, 400, 500]
+        topology = FullMeshTopology(n, seed=seed)
+        factory = make_identified_factory(n, ids, seed=seed, build=Probe)
+        me = 2
+        probe = factory(ProcessContext(n=n, t=0, my_id=ids[me]))
+        for link, peer in probe.link_to_index.items():
+            assert topology.peer_of(me, link) == peer
+
+    def test_self_loop_maps_to_self(self):
+        ids = [1, 2, 3, 4]
+        factory = make_identified_factory(4, ids, seed=0, build=Probe)
+        probe = factory(ProcessContext(n=4, t=0, my_id=3))
+        assert probe.link_to_index[4] == 2  # self-loop label n -> own index
+
+    def test_every_index_covered(self):
+        ids = [9, 8, 7, 6, 5, 4]
+        factory = make_identified_factory(6, ids, seed=3, build=Probe)
+        probe = factory(ProcessContext(n=6, t=0, my_id=7))
+        assert sorted(probe.link_to_index.values()) == list(range(6))

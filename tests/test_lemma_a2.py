@@ -1,0 +1,75 @@
+"""Direct property test of Lemma A.2 (the multiset-pairing lemma).
+
+Lemma A.2: build two multisets U, W by inserting k pairs (a, pair(a)) with
+a + δ ≤ pair(a); after sorting both, the i-th elements still satisfy
+u_i + δ ≤ w_i for every i. It is the combinatorial heart of Lemma A.3
+(δ-spacing survives the approximate fold), so it deserves its own
+hypothesis-driven check against the obvious direct formalisation.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+DELTA = Fraction(28, 27)
+
+pairs_strategy = st.lists(
+    st.tuples(
+        st.fractions(min_value=-100, max_value=100),
+        st.fractions(min_value=0, max_value=50),
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+@given(pairs=pairs_strategy)
+def test_lemma_a2_sorted_pairing(pairs):
+    u_multiset = []
+    w_multiset = []
+    for low, extra in pairs:
+        u_multiset.append(low)
+        w_multiset.append(low + DELTA + extra)  # pair(a) ≥ a + δ
+    u_sorted = sorted(u_multiset)
+    w_sorted = sorted(w_multiset)
+    for u_i, w_i in zip(u_sorted, w_sorted):
+        assert u_i + DELTA <= w_i
+
+
+@given(pairs=pairs_strategy, data=st.data())
+def test_lemma_a2_fails_without_pair_discipline(pairs, data):
+    """Sanity inverse: if one pair violates the δ constraint the conclusion
+    can fail — the lemma's hypothesis is load-bearing, not decorative."""
+    if len(pairs) != 1:
+        return
+    (low, _extra) = pairs[0]
+    u_sorted = [low]
+    w_sorted = [low + DELTA / 2]  # violates a + δ ≤ pair(a)
+    assert not all(u + DELTA <= w for u, w in zip(u_sorted, w_sorted))
+
+
+@given(
+    pairs=pairs_strategy,
+    byzantine=st.lists(
+        st.fractions(min_value=-1000, max_value=1000), max_size=4
+    ),
+)
+def test_lemma_a2_extends_to_equal_insertions(pairs, byzantine):
+    """The form Lemma A.3 actually uses: both multisets additionally receive
+    the same number of δ-respecting fill values (the 'fill with own vote'
+    step), and the conclusion still holds."""
+    u_multiset = []
+    w_multiset = []
+    for low, extra in pairs:
+        u_multiset.append(low)
+        w_multiset.append(low + DELTA + extra)
+    for fill in byzantine:
+        u_multiset.append(fill)
+        w_multiset.append(fill + DELTA)
+    u_sorted = sorted(u_multiset)
+    w_sorted = sorted(w_multiset)
+    for u_i, w_i in zip(u_sorted, w_sorted):
+        assert u_i + DELTA <= w_i

@@ -1,0 +1,87 @@
+"""Tests for the early-deciding Okun variant (the actual [1] result)."""
+
+from __future__ import annotations
+
+from functools import partial
+
+import pytest
+
+from helpers import assert_renaming_ok, standard_ids
+from repro import SystemParams, run_protocol
+from repro.adversary import CrashAdversary, make_adversary
+from repro.baselines import OkunCrashRenaming
+
+EARLY = partial(OkunCrashRenaming, early_deciding=True)
+
+
+def freeze_rounds(result):
+    return [
+        e.round_no
+        for e in result.trace.select(event="early_frozen")
+        if e.process in result.correct
+    ]
+
+
+class TestOkunEarlyDeciding:
+    @pytest.mark.parametrize("attack", ["silent", "conforming", "crash"])
+    def test_properties_hold(self, attack):
+        for seed in (0, 1):
+            result = run_protocol(
+                EARLY,
+                n=9,
+                t=3,
+                ids=standard_ids(9),
+                adversary=make_adversary(attack),
+                seed=seed,
+            )
+            assert_renaming_ok(result, 9, context=f"okun-early {attack}")
+
+    def test_names_match_non_early(self):
+        for attack in ("silent", "crash"):
+            base = run_protocol(
+                OkunCrashRenaming,
+                n=9,
+                t=3,
+                ids=standard_ids(9),
+                adversary=make_adversary(attack),
+                seed=4,
+            )
+            early = run_protocol(
+                EARLY,
+                n=9,
+                t=3,
+                ids=standard_ids(9),
+                adversary=make_adversary(attack),
+                seed=4,
+            )
+            assert base.new_names() == early.new_names()
+
+    def test_freezes_early_fault_free_like(self):
+        result = run_protocol(
+            EARLY,
+            n=13,
+            t=4,
+            ids=standard_ids(13),
+            adversary=make_adversary("silent"),
+            seed=0,
+            collect_trace=True,
+        )
+        frozen = freeze_rounds(result)
+        deadline = 2 + SystemParams(13, 4).voting_rounds
+        assert len(frozen) == len(result.correct)
+        assert max(frozen) < deadline
+
+    def test_crash_mid_run_still_freezes(self):
+        result = run_protocol(
+            EARLY,
+            n=9,
+            t=3,
+            ids=standard_ids(9),
+            byzantine=[0, 1, 2],
+            adversary=CrashAdversary(crash_rounds={0: 1, 1: 3, 2: 4}),
+            seed=2,
+            collect_trace=True,
+        )
+        assert_renaming_ok(result, 9)
+        frozen = freeze_rounds(result)
+        assert len(frozen) == len(result.correct)

@@ -1,0 +1,195 @@
+"""Unit tests for SystemParams: every closed-form bound the paper proves."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import SystemParams
+
+
+class TestValidation:
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            SystemParams(0, 0)
+
+    def test_rejects_bad_t(self):
+        with pytest.raises(ValueError):
+            SystemParams(4, 4)
+        with pytest.raises(ValueError):
+            SystemParams(4, -1)
+
+    def test_fault_free_allowed(self):
+        assert SystemParams(3, 0).tolerates_byzantine
+
+
+class TestRegimes:
+    @pytest.mark.parametrize(
+        "n,t,expected", [(7, 2, True), (6, 2, False), (4, 1, True), (3, 1, False)]
+    )
+    def test_byzantine_resilience(self, n, t, expected):
+        assert SystemParams(n, t).tolerates_byzantine is expected
+
+    @pytest.mark.parametrize(
+        "n,t,expected", [(4, 1, True), (3, 1, False), (9, 2, True), (8, 2, False)]
+    )
+    def test_constant_time_regime(self, n, t, expected):
+        # N > t^2 + 2t
+        assert SystemParams(n, t).in_constant_time_regime is expected
+
+    @pytest.mark.parametrize(
+        "n,t,expected", [(4, 1, True), (3, 1, False), (11, 2, True), (10, 2, False)]
+    )
+    def test_fast_regime(self, n, t, expected):
+        # N > 2t^2 + t
+        assert SystemParams(n, t).in_fast_regime is expected
+
+    def test_require_raises_outside_regime(self):
+        with pytest.raises(ValueError):
+            SystemParams(6, 2).require_byzantine_resilience()
+        with pytest.raises(ValueError):
+            SystemParams(8, 2).require_constant_time_regime()
+        with pytest.raises(ValueError):
+            SystemParams(10, 2).require_fast_regime()
+
+    def test_require_passes_inside_regime(self):
+        SystemParams(7, 2).require_byzantine_resilience()
+        SystemParams(9, 2).require_constant_time_regime()
+        SystemParams(11, 2).require_fast_regime()
+
+
+class TestDelta:
+    def test_formula(self):
+        assert SystemParams(7, 2).delta == 1 + Fraction(1, 27)
+
+    def test_exact_fraction(self):
+        delta = SystemParams(10, 3).delta
+        assert isinstance(delta, Fraction)
+        assert delta == Fraction(40, 39)
+
+    @given(st.integers(min_value=1, max_value=200), st.integers(min_value=0, max_value=60))
+    def test_delta_strictly_above_one(self, n, extra):
+        t = min(extra, n - 1)
+        delta = SystemParams(n, t).delta
+        assert 1 < delta <= Fraction(4, 3)
+
+
+class TestRoundCounts:
+    @pytest.mark.parametrize(
+        "t,expected_total",
+        [(0, 7), (1, 7), (2, 10), (3, 13), (4, 13), (5, 16), (8, 16), (9, 19)],
+    )
+    def test_total_rounds_formula(self, t, expected_total):
+        n = max(3 * t + 1, 2)
+        params = SystemParams(n, t)
+        assert params.total_rounds == expected_total
+        assert params.voting_rounds == expected_total - 4
+
+    def test_constant_time_rounds(self):
+        params = SystemParams(9, 2)
+        assert params.constant_time_voting_rounds == 4
+        assert params.constant_time_total_rounds == 8
+
+    def test_matches_paper_formula_for_positive_t(self):
+        for t in range(1, 20):
+            params = SystemParams(3 * t + 1, t)
+            assert params.total_rounds == 3 * math.ceil(math.log2(t)) + 7
+
+
+class TestSigma:
+    @pytest.mark.parametrize("n,t,expected", [(7, 2, 2), (13, 3, 3), (9, 2, 3), (4, 1, 3)])
+    def test_formula(self, n, t, expected):
+        assert SystemParams(n, t).sigma == expected
+
+    def test_fault_free_sigma(self):
+        assert SystemParams(5, 0).sigma == 6
+
+    @given(st.integers(min_value=1, max_value=30))
+    def test_constant_regime_sigma_at_least_t_plus_one(self, t):
+        # Lemma V.2's argument needs sigma ≥ t + 1 whenever N > t^2 + 2t.
+        # (The paper states the inequality strictly, but at the regime
+        # boundary N = t^2 + 2t + 1 the floor gives exactly t + 1; see
+        # EXPERIMENTS.md E4 for the measured slack.)
+        params = SystemParams(t * t + 2 * t + 1, t)
+        assert params.sigma >= t + 1
+
+
+class TestNamespaceBounds:
+    @pytest.mark.parametrize("n,t", [(7, 2), (10, 3), (13, 4), (4, 1)])
+    def test_accepted_bound_at_most_namespace_bound(self, n, t):
+        params = SystemParams(n, t)
+        assert params.accepted_bound <= params.namespace_bound
+
+    def test_accepted_bound_formula(self):
+        assert SystemParams(7, 2).accepted_bound == 7 + 4 // 3  # = 8
+        assert SystemParams(9, 2).accepted_bound == 9  # constant-time regime
+
+    def test_constant_regime_accepted_bound_is_n(self):
+        for t in (1, 2, 3, 4):
+            params = SystemParams(t * t + 2 * t + 1, t)
+            assert params.accepted_bound == params.n
+
+    def test_namespace_bound_fault_free(self):
+        assert SystemParams(5, 0).namespace_bound == 5
+
+    def test_fast_namespace(self):
+        assert SystemParams(11, 2).fast_namespace_bound == 121
+
+    def test_fast_bounds(self):
+        params = SystemParams(11, 2)
+        assert params.fast_discrepancy_bound == 8
+        assert params.fast_min_gap == 9
+
+    def test_fast_gap_absorbs_discrepancy_in_regime(self):
+        # The Theorem VI.3 inequality: N - t - 2t^2 > 0 in the fast regime.
+        for t in (1, 2, 3):
+            params = SystemParams(2 * t * t + t + 1, t)
+            assert params.fast_min_gap > params.fast_discrepancy_bound
+
+    def test_accepted_bound_requires_n_over_2t(self):
+        with pytest.raises(ValueError):
+            SystemParams(4, 2).accepted_bound
+
+
+class TestConvergenceTargets:
+    def test_convergence_target(self):
+        params = SystemParams(7, 2)
+        assert params.convergence_target == Fraction(1, 54)
+
+    def test_initial_spread_bound(self):
+        params = SystemParams(7, 2)
+        assert params.initial_spread_bound == 3 * params.delta
+
+    @given(st.integers(min_value=5, max_value=24))
+    def test_scheduled_rounds_reach_target_for_large_t(self, t):
+        """Lemma IV.9 end-to-end: contracting the worst initial spread by
+        sigma per scheduled voting round lands below (delta-1)/2.
+
+        Reproduction finding (see EXPERIMENTS.md, E3): at minimal resilience
+        N = 3t+1 the paper's chain is numerically loose for t in {1, 2, 4} —
+        2t·delta / sigma^rounds exceeds (delta-1)/2 there. The *conclusion*
+        (order preservation) is unaffected because inversion needs a spread
+        of at least delta, and the contracted spread is below delta/(4t^2)
+        for every t (checked in the companion test); the tight chain holds
+        from t = 5 up (and for t = 3).
+        """
+        params = SystemParams(3 * t + 1, t)
+        spread = params.initial_spread_bound
+        for _ in range(params.voting_rounds):
+            spread = spread / params.sigma
+        assert spread < params.convergence_target
+
+    @given(st.integers(min_value=1, max_value=24))
+    def test_scheduled_rounds_exclude_inversion_for_all_t(self, t):
+        """The weaker-but-sufficient guarantee for every t: the contracted
+        worst-case spread stays strictly below delta, so adjacent correct
+        ranks can never invert (Corollary IV.6 + Lemma IV.8)."""
+        params = SystemParams(3 * t + 1, t)
+        spread = params.initial_spread_bound
+        for _ in range(params.voting_rounds):
+            spread = spread / params.sigma
+        assert spread < params.delta / 4

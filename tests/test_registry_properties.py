@@ -1,0 +1,57 @@
+"""Registry-wide property test: every registered algorithm keeps its
+promises under every attack it supports, on randomized configurations.
+
+This is the broadest single statement in the suite — adding an algorithm
+or an attack to the registries automatically widens its coverage.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import ALGORITHMS, run_experiment
+from repro.core import SystemParams
+from repro.workloads import make_ids
+
+#: Smallest supported (n, t) per algorithm plus a little headroom — keeps
+#: randomized sizes inside every regime without re-deriving thresholds here.
+SIZE_RANGES = {
+    "alg1": [(4, 1), (7, 2), (10, 3)],
+    "alg1-constant": [(4, 1), (9, 2), (10, 2)],
+    "alg4": [(4, 1), (11, 2), (13, 2)],
+    "okun-crash": [(4, 1), (7, 2), (9, 3)],
+    "cht": [(5, 1), (8, 2)],
+    "floodset": [(4, 1), (7, 2)],
+    "translated": [(7, 2), (10, 3)],
+    "consensus": [(4, 1), (7, 2)],
+}
+
+
+def test_size_ranges_cover_registry():
+    assert set(SIZE_RANGES) == set(ALGORITHMS)
+    for algorithm, sizes in SIZE_RANGES.items():
+        for n, t in sizes:
+            assert ALGORITHMS[algorithm].supports(n, t), (algorithm, n, t)
+
+
+@settings(
+    deadline=None, max_examples=40, suppress_health_check=[HealthCheck.too_slow]
+)
+@given(
+    algorithm=st.sampled_from(sorted(ALGORITHMS)),
+    pick=st.data(),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_every_algorithm_keeps_its_promises(algorithm, pick, seed):
+    spec = ALGORITHMS[algorithm]
+    n, t = pick.draw(st.sampled_from(SIZE_RANGES[algorithm]))
+    attack = pick.draw(st.sampled_from(list(spec.attacks)))
+    ids = make_ids("uniform", n, seed=seed)
+    record = run_experiment(algorithm, n, t, ids, attack=attack, seed=seed)
+    report = record.report
+    context = (algorithm, n, t, attack, seed)
+    assert report.ok_without_order(), (context, report.violations)
+    if spec.order_preserving:
+        assert report.order_preservation, (context, report.violations)
+    assert record.max_name <= spec.namespace(SystemParams(n, t)), context

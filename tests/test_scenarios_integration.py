@@ -1,0 +1,52 @@
+"""Scenario-driven integration: every canned scenario runs end-to-end
+through every algorithm whose regime and attack support cover it."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ALGORITHMS, run_experiment
+from repro.workloads import all_scenarios, make_ids
+
+SCENARIOS = all_scenarios()
+
+
+def compatible_algorithms(scenario):
+    names = []
+    for name, spec in sorted(ALGORITHMS.items()):
+        if spec.supports(scenario.n, scenario.t) and scenario.attack in spec.attacks:
+            names.append(name)
+    return names
+
+
+@pytest.mark.parametrize(
+    "scenario", SCENARIOS, ids=[scenario.name for scenario in SCENARIOS]
+)
+def test_scenario_runs_on_all_compatible_algorithms(scenario):
+    algorithms = compatible_algorithms(scenario)
+    assert algorithms, f"scenario {scenario.name} matches no algorithm"
+    ids = make_ids(scenario.workload, scenario.n, seed=0)
+    for algorithm in algorithms:
+        record = run_experiment(
+            algorithm, scenario.n, scenario.t, ids, attack=scenario.attack
+        )
+        spec = ALGORITHMS[algorithm]
+        report = record.report
+        assert report.ok_without_order(), (
+            scenario.name,
+            algorithm,
+            report.violations,
+        )
+        if spec.order_preserving:
+            assert report.order_preservation, (scenario.name, algorithm)
+
+
+def test_alg1_covers_every_scenario():
+    """Alg. 1 (the paper's main algorithm) must be runnable on each scenario
+    except those built for the fast algorithm's attack surface."""
+    for scenario in SCENARIOS:
+        algorithms = compatible_algorithms(scenario)
+        if scenario.attack.startswith("selective-echo"):
+            assert "alg4" in algorithms
+        else:
+            assert "alg1" in algorithms, scenario.name

@@ -1,0 +1,68 @@
+"""Unit tests for the adversary contract plumbing in the simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import derive_rng, split_fault_slots
+from repro.sim.faults import AdversaryContext, NullAdversary
+from repro.sim.topology import FullMeshTopology
+
+
+class TestSplitFaultSlots:
+    def test_count_and_range(self):
+        slots = split_fault_slots(10, 3, derive_rng(1, "x"))
+        assert len(slots) == 3
+        assert all(0 <= slot < 10 for slot in slots)
+        assert slots == tuple(sorted(slots))
+
+    def test_fixed_slots_pinned(self):
+        slots = split_fault_slots(10, 3, derive_rng(1, "x"), fixed=[7])
+        assert 7 in slots and len(slots) == 3
+
+    def test_fixed_exactly_t(self):
+        assert split_fault_slots(5, 2, derive_rng(0, "x"), fixed=[1, 3]) == (1, 3)
+
+    def test_too_many_fixed_raises(self):
+        with pytest.raises(ValueError):
+            split_fault_slots(5, 1, derive_rng(0, "x"), fixed=[1, 3])
+
+    def test_duplicate_fixed_deduplicated(self):
+        slots = split_fault_slots(5, 1, derive_rng(0, "x"), fixed=[2, 2])
+        assert slots == (2,)
+
+    def test_zero_faults(self):
+        assert split_fault_slots(5, 0, derive_rng(0, "x")) == ()
+
+    def test_deterministic(self):
+        first = split_fault_slots(20, 5, derive_rng(9, "s"))
+        second = split_fault_slots(20, 5, derive_rng(9, "s"))
+        assert first == second
+
+
+class TestAdversaryContext:
+    def make(self, n=6, t=2):
+        topology = FullMeshTopology(n, seed=0)
+        return AdversaryContext(
+            n=n,
+            t=t,
+            byzantine=(1, 4),
+            ids={i: 10 * (i + 1) for i in range(n)},
+            topology=topology,
+            rng=derive_rng(0, "adv"),
+            make_process=lambda index: None,
+        )
+
+    def test_correct_complement(self):
+        ctx = self.make()
+        assert ctx.correct == (0, 2, 3, 5)
+
+    def test_correct_ids_sorted(self):
+        ctx = self.make()
+        assert ctx.correct_ids() == (10, 30, 40, 60)
+
+    def test_null_adversary_sends_nothing(self):
+        adversary = NullAdversary()
+        adversary.bind(self.make())
+        assert adversary.send(1, {}) == {}
+        adversary.observe(1, {})  # no-op, must not raise

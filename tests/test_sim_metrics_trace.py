@@ -1,0 +1,77 @@
+"""Unit tests for metrics accounting and the trace recorder."""
+
+from __future__ import annotations
+
+from repro.core.messages import IdMessage
+from repro.sim import RunMetrics, TraceRecorder
+from repro.sim.messages import KIND_BITS
+
+
+class TestRunMetrics:
+    def test_round_accounting(self):
+        metrics = RunMetrics(id_bits=10, rank_bits=4)
+        record = metrics.begin_round(1)
+        metrics.count_correct(record, [IdMessage(1), IdMessage(2)])
+        assert metrics.round_count == 1
+        assert metrics.correct_messages == 2
+        assert metrics.correct_bits == 2 * (KIND_BITS + 10)
+
+    def test_peak_message_bits(self):
+        from repro.core.messages import MultiEchoMessage
+
+        metrics = RunMetrics(id_bits=10, rank_bits=4)
+        record = metrics.begin_round(1)
+        metrics.count_correct(
+            record, [IdMessage(1), MultiEchoMessage.from_ids(range(1, 6))]
+        )
+        assert metrics.peak_message_bits == KIND_BITS + 5 * 10
+
+    def test_byzantine_counted_separately(self):
+        metrics = RunMetrics()
+        record = metrics.begin_round(1)
+        record.byzantine_messages += 7
+        assert metrics.byzantine_messages == 7
+        assert metrics.correct_messages == 0
+
+    def test_totals_across_rounds(self):
+        metrics = RunMetrics(id_bits=10, rank_bits=4)
+        for round_no in (1, 2, 3):
+            record = metrics.begin_round(round_no)
+            metrics.count_correct(record, [IdMessage(round_no)])
+        assert metrics.round_count == 3
+        assert metrics.correct_messages == 3
+
+
+class TestTraceRecorder:
+    def test_bind_tags_process(self):
+        recorder = TraceRecorder()
+        trace0 = recorder.bind(0)
+        trace1 = recorder.bind(1)
+        trace0(1, "x", "a")
+        trace1(2, "y", "b")
+        assert len(recorder) == 2
+        assert recorder.select(process=0)[0].detail == "a"
+
+    def test_select_filters_compose(self):
+        recorder = TraceRecorder()
+        trace = recorder.bind(3)
+        trace(1, "ranks", {})
+        trace(2, "ranks", {})
+        trace(2, "decided", 5)
+        assert len(recorder.select(event="ranks")) == 2
+        assert len(recorder.select(event="ranks", round_no=2)) == 1
+        assert recorder.select(event="decided", process=3)[0].round_no == 2
+
+    def test_rounds_listing(self):
+        recorder = TraceRecorder()
+        trace = recorder.bind(0)
+        trace(5, "a", None)
+        trace(2, "b", None)
+        trace(5, "c", None)
+        assert recorder.rounds() == [2, 5]
+
+    def test_iteration(self):
+        recorder = TraceRecorder()
+        recorder.bind(0)(1, "e", None)
+        events = list(recorder)
+        assert len(events) == 1 and events[0].event == "e"

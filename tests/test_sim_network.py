@@ -1,0 +1,92 @@
+"""Unit tests for synchronous delivery and outbox expansion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.messages import IdMessage
+from repro.sim import (
+    BROADCAST,
+    FullMeshTopology,
+    ProtocolViolationError,
+    SynchronousNetwork,
+)
+
+
+def make_network(n: int, seed: int = 0) -> SynchronousNetwork:
+    return SynchronousNetwork(FullMeshTopology(n, seed=seed))
+
+
+class TestExpandOutbox:
+    def test_broadcast_reaches_every_link(self):
+        network = make_network(5)
+        transmissions = network.expand_outbox(0, {BROADCAST: [IdMessage(7)]})
+        assert sorted(link for link, _ in transmissions) == [1, 2, 3, 4, 5]
+
+    def test_unicast_single_link(self):
+        network = make_network(5)
+        transmissions = network.expand_outbox(0, {3: [IdMessage(7)]})
+        assert transmissions == [(3, IdMessage(7))]
+
+    def test_multiple_messages_per_link(self):
+        network = make_network(4)
+        transmissions = network.expand_outbox(0, {2: [IdMessage(1), IdMessage(2)]})
+        assert len(transmissions) == 2
+
+    def test_invalid_link_rejected(self):
+        network = make_network(4)
+        with pytest.raises(ProtocolViolationError):
+            network.expand_outbox(0, {9: [IdMessage(1)]})
+
+    def test_negative_link_rejected(self):
+        network = make_network(4)
+        with pytest.raises(ProtocolViolationError):
+            network.expand_outbox(0, {-1: [IdMessage(1)]})
+
+    def test_non_message_rejected(self):
+        network = make_network(4)
+        with pytest.raises(ProtocolViolationError):
+            network.expand_outbox(0, {1: ["not a message"]})
+
+
+class TestDeliver:
+    def test_broadcast_delivered_to_everyone(self):
+        network = make_network(4)
+        plan = network.deliver({0: {BROADCAST: [IdMessage(5)]}})
+        assert sorted(plan) == [0, 1, 2, 3]
+
+    def test_self_loop_delivery(self):
+        network = make_network(4)
+        topology = network.topology
+        plan = network.deliver({0: {topology.self_link: [IdMessage(5)]}})
+        assert plan == {0: {topology.self_link: [IdMessage(5)]}}
+
+    def test_unicast_arrives_on_recipients_label_for_sender(self):
+        network = make_network(5, seed=3)
+        topology = network.topology
+        target_link = 2
+        recipient = topology.peer_of(0, target_link)
+        plan = network.deliver({0: {target_link: [IdMessage(9)]}})
+        expected_link = topology.label_of(recipient, 0)
+        assert plan[recipient] == {expected_link: [IdMessage(9)]}
+
+    def test_messages_from_one_sender_share_recipient_link(self):
+        # All traffic from a given peer lands on one stable link label.
+        network = make_network(6, seed=4)
+        plan = network.deliver({2: {BROADCAST: [IdMessage(1), IdMessage(2)]}})
+        for recipient, links in plan.items():
+            assert len(links) == 1
+            (messages,) = links.values()
+            assert len(messages) == 2
+
+    def test_two_senders_arrive_on_distinct_links(self):
+        network = make_network(6, seed=5)
+        plan = network.deliver(
+            {0: {BROADCAST: [IdMessage(1)]}, 1: {BROADCAST: [IdMessage(2)]}}
+        )
+        for recipient in (2, 3, 4, 5):
+            assert len(plan[recipient]) == 2
+
+    def test_freeze_inbox_makes_tuples(self):
+        frozen = SynchronousNetwork.freeze_inbox({1: [IdMessage(3)]})
+        assert frozen == {1: (IdMessage(3),)}

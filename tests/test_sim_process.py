@@ -1,0 +1,66 @@
+"""Unit tests for the Process base class and its helpers."""
+
+from __future__ import annotations
+
+from repro.core.messages import EchoMessage, IdMessage
+from repro.sim import BROADCAST, Process, ProcessContext, iter_inbox
+
+
+class Trivial(Process):
+    def send(self, round_no):
+        return {}
+
+    def deliver(self, round_no, inbox):
+        pass
+
+
+class TestProcessBase:
+    def test_broadcast_helper(self):
+        outbox = Process.broadcast(IdMessage(1), IdMessage(2))
+        assert outbox == {BROADCAST: [IdMessage(1), IdMessage(2)]}
+
+    def test_done_flag(self):
+        process = Trivial(ProcessContext(n=3, t=0, my_id=1))
+        assert not process.done
+        process.output_value = 5
+        assert process.done
+
+    def test_zero_output_counts_as_done(self):
+        # `done` must test for None, not truthiness: 0 is a valid output.
+        process = Trivial(ProcessContext(n=3, t=0, my_id=1))
+        process.output_value = 0
+        assert process.done
+
+
+class TestProcessContext:
+    def test_self_link_is_n(self):
+        assert ProcessContext(n=9, t=2, my_id=5).self_link == 9
+
+    def test_log_noop_without_trace(self):
+        ctx = ProcessContext(n=3, t=0, my_id=1)
+        ctx.log(1, "event", "detail")  # must not raise
+
+    def test_log_forwards_to_trace(self):
+        seen = []
+        ctx = ProcessContext(
+            n=3, t=0, my_id=1, trace=lambda r, e, d: seen.append((r, e, d))
+        )
+        ctx.log(4, "ranks", {"x": 1})
+        assert seen == [(4, "ranks", {"x": 1})]
+
+
+class TestIterInbox:
+    def test_link_order_and_flattening(self):
+        inbox = {
+            3: (IdMessage(30),),
+            1: (IdMessage(10), EchoMessage(11)),
+        }
+        flattened = list(iter_inbox(inbox))
+        assert flattened == [
+            (1, IdMessage(10)),
+            (1, EchoMessage(11)),
+            (3, IdMessage(30)),
+        ]
+
+    def test_empty(self):
+        assert list(iter_inbox({})) == []

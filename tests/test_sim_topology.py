@@ -1,0 +1,82 @@
+"""Unit tests for the link-labelled full-mesh topology."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import ConfigurationError, FullMeshTopology
+
+
+class TestFullMeshTopology:
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            FullMeshTopology(0)
+
+    def test_self_loop_is_label_n(self):
+        topology = FullMeshTopology(5, seed=1)
+        for process in range(5):
+            assert topology.peer_of(process, topology.self_link) == process
+
+    def test_labels_cover_one_to_n(self):
+        topology = FullMeshTopology(6, seed=2)
+        assert list(topology.labels()) == [1, 2, 3, 4, 5, 6]
+
+    def test_each_label_maps_to_distinct_peer(self):
+        topology = FullMeshTopology(7, seed=3)
+        for process in range(7):
+            peers = [topology.peer_of(process, label) for label in topology.labels()]
+            assert sorted(peers) == list(range(7))
+
+    def test_label_of_inverts_peer_of(self):
+        topology = FullMeshTopology(8, seed=4)
+        for process in range(8):
+            for label in topology.labels():
+                peer = topology.peer_of(process, label)
+                if peer != process:
+                    assert topology.label_of(process, peer) == label
+
+    def test_labelling_deterministic_in_seed(self):
+        first = FullMeshTopology(9, seed=5)
+        second = FullMeshTopology(9, seed=5)
+        for process in range(9):
+            for label in first.labels():
+                assert first.peer_of(process, label) == second.peer_of(process, label)
+
+    def test_labelling_varies_with_seed(self):
+        first = FullMeshTopology(9, seed=5)
+        second = FullMeshTopology(9, seed=6)
+        differs = any(
+            first.peer_of(p, label) != second.peer_of(p, label)
+            for p in range(9)
+            for label in first.labels()
+        )
+        assert differs
+
+    def test_labels_are_private_per_process(self):
+        # The label p uses for q generally differs from the label q uses for
+        # p — labels carry no global identity. Check it differs somewhere.
+        topology = FullMeshTopology(10, seed=7)
+        asymmetric = any(
+            topology.label_of(p, q) != topology.label_of(q, p)
+            for p in range(10)
+            for q in range(10)
+            if p != q
+        )
+        assert asymmetric
+
+    def test_invalid_label_raises(self):
+        topology = FullMeshTopology(4, seed=0)
+        with pytest.raises(ConfigurationError):
+            topology.peer_of(0, 0)
+        with pytest.raises(ConfigurationError):
+            topology.peer_of(0, 5)
+
+    def test_missing_link_raises(self):
+        topology = FullMeshTopology(4, seed=0)
+        with pytest.raises(ConfigurationError):
+            topology.label_of(0, 99)
+
+    def test_single_process_topology(self):
+        topology = FullMeshTopology(1, seed=0)
+        assert topology.self_link == 1
+        assert topology.peer_of(0, 1) == 0

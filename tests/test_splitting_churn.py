@@ -1,0 +1,126 @@
+"""Property tests of the interval-splitting engine under crash churn.
+
+The crash model's hazard for bit-split renaming is *transiently divergent
+views*: a crashing process's final-round claims reach some peers but not
+others, after which it is gone. A live process's broadcast always reaches
+everyone (reliable channels) — the engine relies on that, so these tests
+model exactly crash-shaped churn: each crasher has a crash round, its claim
+is visible to a random subset of viewers in that round, and to nobody
+afterwards. Survivors must end with unique names; crash-free runs must be
+strong and order-preserving.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import IntervalSplitter, interval_rounds
+
+
+def run_network(ids, namespace, crash_schedule):
+    """Drive splitters under a crash schedule.
+
+    ``crash_schedule[identifier] = (crash_round, visible_to)``: the id's
+    claim reaches only ``visible_to`` in its crash round and vanishes after.
+    Returns decided names of the survivors.
+    """
+    splitters = {identifier: IntervalSplitter(identifier, namespace) for identifier in ids}
+    survivors = [identifier for identifier in ids if identifier not in crash_schedule]
+    horizon = interval_rounds(namespace) + len(ids) + 4
+    for round_no in range(1, horizon + 1):
+        claims = {}
+        for identifier, splitter in splitters.items():
+            if identifier in crash_schedule:
+                crash_round, visible_to = crash_schedule[identifier]
+                if round_no > crash_round:
+                    continue  # dead: no claims at all
+                if round_no == crash_round:
+                    claims[identifier] = (splitter.claim(), frozenset(visible_to))
+                    continue
+            claims[identifier] = (splitter.claim(), None)  # visible to all
+        for viewer in survivors:
+            splitter = splitters[viewer]
+            if splitter.decided is not None:
+                continue
+            mine = splitter.claim()
+            rivals = [
+                claimant
+                for claimant, (claim, audience) in claims.items()
+                if claim == mine and (audience is None or viewer in audience)
+            ]
+            splitter.resolve(rivals)
+        # Crashed processes still advance their own state until they die
+        # (they run the protocol correctly up to the crash).
+        for identifier, (crash_round, _) in crash_schedule.items():
+            if round_no < crash_round:
+                splitter = splitters[identifier]
+                if splitter.decided is None:
+                    mine = splitter.claim()
+                    rivals = [
+                        claimant
+                        for claimant, (claim, audience) in claims.items()
+                        if claim == mine
+                        and (audience is None or identifier in audience)
+                    ]
+                    splitter.resolve(rivals)
+    return {identifier: splitters[identifier].decided for identifier in survivors}
+
+
+ids_strategy = st.lists(
+    st.integers(min_value=1, max_value=10**4), min_size=3, max_size=10, unique=True
+)
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ids=ids_strategy, data=st.data())
+def test_survivor_uniqueness_under_crashes(ids, data):
+    crasher_count = data.draw(
+        st.integers(min_value=0, max_value=len(ids) - 2), label="crashers"
+    )
+    crashers = data.draw(
+        st.permutations(sorted(ids)), label="order"
+    )[:crasher_count]
+    schedule = {}
+    for crasher in crashers:
+        crash_round = data.draw(st.integers(1, 5), label=f"round {crasher}")
+        viewers = [i for i in ids if i != crasher]
+        visible = {
+            viewer
+            for viewer in viewers
+            if data.draw(st.booleans(), label=f"sees {crasher}->{viewer}")
+        }
+        schedule[crasher] = (crash_round, visible)
+    names = run_network(ids, len(ids), schedule)
+    decided = list(names.values())
+    assert all(name is not None for name in decided), names
+    assert len(set(decided)) == len(decided), names
+
+
+@settings(max_examples=40, deadline=None)
+@given(ids=ids_strategy)
+def test_no_crashes_strong_order_preserving(ids):
+    names = run_network(ids, len(ids), {})
+    for rank, identifier in enumerate(sorted(ids), start=1):
+        assert names[identifier] == rank
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ids=ids_strategy, data=st.data())
+def test_names_bounded_under_crashes(ids, data):
+    """Probing may spill past N, but stays within N + crasher-count — each
+    displaced survivor was displaced by at most the contested slots crashers
+    transiently occupied."""
+    crashers = sorted(ids)[: len(ids) // 2]
+    schedule = {}
+    for crasher in crashers:
+        visible = {
+            viewer
+            for viewer in ids
+            if viewer != crasher and data.draw(st.booleans())
+        }
+        schedule[crasher] = (data.draw(st.integers(1, 3)), visible)
+    names = run_network(ids, len(ids), schedule)
+    for name in names.values():
+        assert name is not None
+        assert 1 <= name <= len(ids) + len(crashers)

@@ -1,0 +1,140 @@
+"""Whole-system property-based tests.
+
+Hypothesis drives random configurations (sizes, seeds, workloads, attacks)
+through the full stack and asserts the paper's guarantees hold on every one —
+the closest executable statement of Theorems IV.10, V.3 and VI.3.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    ConstantTimeRenaming,
+    OrderPreservingRenaming,
+    SystemParams,
+    TwoStepRenaming,
+    run_protocol,
+)
+from repro.adversary import ALG1_ATTACKS, ALG4_ATTACKS, make_adversary
+from repro.analysis import check_renaming
+from repro.workloads import make_ids, workload_names
+
+COMMON = dict(
+    deadline=None,
+    max_examples=30,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def sizes_for(regime):
+    """Random (n, t) inside a resilience regime, kept laptop-sized."""
+
+    def build(draw):
+        t = draw(st.integers(min_value=1, max_value=3))
+        lower = regime(t)
+        n = draw(st.integers(min_value=lower, max_value=lower + 4))
+        return n, t
+
+    return st.composite(lambda draw: build(draw))()
+
+
+alg1_sizes = sizes_for(lambda t: 3 * t + 1)
+constant_sizes = sizes_for(lambda t: t * t + 2 * t + 1)
+fast_sizes = sizes_for(lambda t: 2 * t * t + t + 1)
+
+
+@settings(**COMMON)
+@given(
+    size=alg1_sizes,
+    seed=st.integers(min_value=0, max_value=10**6),
+    workload=st.sampled_from(sorted(workload_names())),
+    attack=st.sampled_from(ALG1_ATTACKS),
+)
+def test_theorem_iv10_randomised(size, seed, workload, attack):
+    n, t = size
+    ids = make_ids(workload, n, seed=seed)
+    result = run_protocol(
+        OrderPreservingRenaming,
+        n=n,
+        t=t,
+        ids=ids,
+        adversary=make_adversary(attack),
+        seed=seed,
+    )
+    params = SystemParams(n, t)
+    report = check_renaming(result, params.namespace_bound)
+    assert report.ok, (n, t, workload, attack, seed, report.violations)
+    assert result.metrics.round_count == params.total_rounds
+
+
+@settings(**COMMON)
+@given(
+    size=constant_sizes,
+    seed=st.integers(min_value=0, max_value=10**6),
+    attack=st.sampled_from(ALG1_ATTACKS),
+)
+def test_theorem_v3_randomised(size, seed, attack):
+    n, t = size
+    ids = make_ids("uniform", n, seed=seed)
+    result = run_protocol(
+        ConstantTimeRenaming,
+        n=n,
+        t=t,
+        ids=ids,
+        adversary=make_adversary(attack),
+        seed=seed,
+    )
+    report = check_renaming(result, n)  # strong namespace
+    assert report.ok, (n, t, attack, seed, report.violations)
+    assert result.metrics.round_count == 8
+
+
+@settings(**COMMON)
+@given(
+    size=fast_sizes,
+    seed=st.integers(min_value=0, max_value=10**6),
+    workload=st.sampled_from(sorted(workload_names())),
+    attack=st.sampled_from(ALG4_ATTACKS),
+)
+def test_theorem_vi3_randomised(size, seed, workload, attack):
+    n, t = size
+    ids = make_ids(workload, n, seed=seed)
+    result = run_protocol(
+        TwoStepRenaming,
+        n=n,
+        t=t,
+        ids=ids,
+        adversary=make_adversary(attack),
+        seed=seed,
+    )
+    params = SystemParams(n, t)
+    report = check_renaming(result, params.fast_namespace_bound)
+    assert report.ok, (n, t, workload, attack, seed, report.violations)
+    assert result.metrics.round_count == 2
+
+
+@settings(**COMMON)
+@given(
+    size=alg1_sizes,
+    seed=st.integers(min_value=0, max_value=10**6),
+    attack=st.sampled_from(ALG1_ATTACKS),
+)
+def test_accepted_bound_randomised(size, seed, attack):
+    """Lemma IV.3 as a universal property over the attack library."""
+    n, t = size
+    ids = make_ids("uniform", n, seed=seed)
+    result = run_protocol(
+        OrderPreservingRenaming,
+        n=n,
+        t=t,
+        ids=ids,
+        adversary=make_adversary(attack),
+        seed=seed,
+        collect_trace=True,
+    )
+    bound = SystemParams(n, t).accepted_bound
+    for event in result.trace.select(event="accepted"):
+        if event.process in result.correct:
+            assert len(event.detail) <= bound

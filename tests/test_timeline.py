@@ -1,0 +1,109 @@
+"""Tests for the run-timeline inspector."""
+
+from __future__ import annotations
+
+from helpers import standard_ids
+from repro import OrderPreservingRenaming, run_protocol
+from repro.adversary import make_adversary
+from repro.analysis import render_timeline, summarize_views
+
+
+def traced_run(attack="divergence", n=7, t=2, seed=2):
+    return run_protocol(
+        OrderPreservingRenaming,
+        n=n,
+        t=t,
+        ids=standard_ids(n),
+        adversary=make_adversary(attack),
+        seed=seed,
+        collect_trace=True,
+    )
+
+
+class TestRenderTimeline:
+    def test_contains_every_round(self):
+        result = traced_run()
+        text = render_timeline(result)
+        for record in result.metrics.rounds:
+            assert f"\n{record.round_no:>5}  " in text or text.splitlines()
+
+    def test_shows_header_and_outputs(self):
+        result = traced_run()
+        text = render_timeline(result)
+        assert f"n={result.n} t={result.t}" in text
+        for original, name in result.outputs_by_id().items():
+            assert str(original) in text
+            assert str(name) in text
+
+    def test_notes_decisions(self):
+        result = traced_run()
+        assert "decided" in render_timeline(result)
+
+    def test_rank_spread_column_monotone(self):
+        """The spread values embedded in the timeline shrink over the voting
+        phase — the contraction is visible in the rendering itself."""
+        result = traced_run()
+        spreads = []
+        for line in render_timeline(result).splitlines():
+            parts = line.split()
+            if parts and parts[0].isdigit() and len(parts) >= 5:
+                cell = parts[4]
+                if cell != "-":
+                    spreads.append(float(cell))
+        assert len(spreads) >= 3
+        assert spreads == sorted(spreads, reverse=True)
+
+    def test_untraced_run_still_renders(self):
+        result = run_protocol(
+            OrderPreservingRenaming,
+            n=7,
+            t=2,
+            ids=standard_ids(7),
+            adversary=make_adversary("silent"),
+            seed=0,
+        )
+        text = render_timeline(result)
+        assert "round" in text
+
+    def test_early_freeze_noted(self):
+        from functools import partial
+
+        from repro import RenamingOptions
+
+        result = run_protocol(
+            partial(
+                OrderPreservingRenaming,
+                options=RenamingOptions(early_deciding=True),
+            ),
+            n=7,
+            t=2,
+            ids=standard_ids(7),
+            adversary=make_adversary("silent"),
+            seed=0,
+            collect_trace=True,
+        )
+        assert "froze early" in render_timeline(result)
+
+
+class TestSummarizeViews:
+    def test_divergence_attack_produces_two_views(self):
+        result = traced_run("divergence")
+        text = summarize_views(result)
+        assert text is not None
+        # Two distinct accepted-set rows (plus header and rule).
+        assert len(text.splitlines()) == 4
+
+    def test_benign_run_single_view(self):
+        result = traced_run("silent")
+        text = summarize_views(result)
+        assert len(text.splitlines()) == 3
+
+    def test_untraced_returns_none(self):
+        result = run_protocol(
+            OrderPreservingRenaming,
+            n=7,
+            t=2,
+            ids=standard_ids(7),
+            seed=0,
+        )
+        assert summarize_views(result) is None

@@ -1,0 +1,117 @@
+"""Unit and property tests for the isValid vote filter (Alg. 2)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import SystemParams, is_valid_ranks
+
+DELTA = SystemParams(7, 2).delta
+
+
+def spaced_ranks(ids, delta=DELTA, start=Fraction(1)):
+    return {identifier: start + index * delta for index, identifier in enumerate(ids)}
+
+
+class TestIsValid:
+    def test_accepts_exact_delta_spacing(self):
+        ranks = spaced_ranks([10, 20, 30])
+        assert is_valid_ranks([10, 20, 30], ranks, DELTA)
+
+    def test_accepts_wider_spacing(self):
+        ranks = spaced_ranks([10, 20, 30], delta=2 * DELTA)
+        assert is_valid_ranks([10, 20, 30], ranks, DELTA)
+
+    def test_rejects_missing_timely_id(self):
+        ranks = spaced_ranks([10, 30])
+        assert not is_valid_ranks([10, 20, 30], ranks, DELTA)
+
+    def test_rejects_too_tight_spacing(self):
+        ranks = {10: Fraction(1), 20: Fraction(1) + DELTA / 2}
+        assert not is_valid_ranks([10, 20], ranks, DELTA)
+
+    def test_rejects_inverted_order(self):
+        ranks = {10: Fraction(5), 20: Fraction(1)}
+        assert not is_valid_ranks([10, 20], ranks, DELTA)
+
+    def test_rejects_equal_ranks(self):
+        ranks = {10: Fraction(3), 20: Fraction(3)}
+        assert not is_valid_ranks([10, 20], ranks, DELTA)
+
+    def test_extra_non_timely_ids_unconstrained(self):
+        # Ranks may contain ids outside timely in any arrangement.
+        ranks = spaced_ranks([10, 20, 30])
+        ranks[99] = Fraction(-100)
+        ranks[98] = ranks[10]  # clashes with a timely rank but 98 not timely
+        assert is_valid_ranks([10, 20, 30], ranks, DELTA)
+
+    def test_empty_timely_accepts_anything(self):
+        assert is_valid_ranks([], {}, DELTA)
+        assert is_valid_ranks([], {5: Fraction(1)}, DELTA)
+
+    def test_single_timely_id_needs_presence_only(self):
+        assert is_valid_ranks([10], {10: Fraction(-5)}, DELTA)
+        assert not is_valid_ranks([10], {}, DELTA)
+
+    def test_float_tolerance(self):
+        delta = float(DELTA)
+        ranks = {10: 1.0, 20: 1.0 + delta - 1e-12}
+        assert not is_valid_ranks([10, 20], ranks, delta)
+        assert is_valid_ranks([10, 20], ranks, delta, tolerance=1e-9)
+
+    def test_duplicate_timely_entries_deduplicated(self):
+        ranks = spaced_ranks([10, 20])
+        assert is_valid_ranks([10, 10, 20], ranks, DELTA)
+
+
+class TestIsValidProperties:
+    @given(
+        ids=st.lists(st.integers(min_value=1, max_value=10**6), min_size=1,
+                     max_size=12, unique=True),
+        start=st.fractions(min_value=-100, max_value=100),
+    )
+    def test_honest_construction_always_valid(self, ids, start):
+        """Any δ-spaced layout over the timely set passes — the Lemma IV.4
+        shape: correct processes always produce valid votes."""
+        ranks = spaced_ranks(sorted(ids), start=start)
+        assert is_valid_ranks(ids, ranks, DELTA)
+
+    @given(
+        ids=st.lists(st.integers(min_value=1, max_value=10**6), min_size=2,
+                     max_size=12, unique=True),
+        shift=st.fractions(min_value=-1000, max_value=1000),
+    )
+    def test_uniform_shift_preserves_validity(self, ids, shift):
+        """Uniform shifts keep spacing — the RankSkew attack is valid traffic."""
+        ranks = spaced_ranks(sorted(ids))
+        shifted = {identifier: rank + shift for identifier, rank in ranks.items()}
+        assert is_valid_ranks(ids, shifted, DELTA)
+
+    @given(
+        ids=st.lists(st.integers(min_value=1, max_value=10**6), min_size=2,
+                     max_size=12, unique=True),
+        data=st.data(),
+    )
+    def test_swapping_any_adjacent_pair_invalidates(self, ids, data):
+        """Every pairwise inversion is caught (the OrderInversion attack is
+        always filtered)."""
+        ordered = sorted(ids)
+        ranks = spaced_ranks(ordered)
+        position = data.draw(st.integers(min_value=0, max_value=len(ordered) - 2))
+        a, b = ordered[position], ordered[position + 1]
+        ranks[a], ranks[b] = ranks[b], ranks[a]
+        assert not is_valid_ranks(ids, ranks, DELTA)
+
+    @given(
+        ids=st.lists(st.integers(min_value=1, max_value=10**6), min_size=2,
+                     max_size=10, unique=True),
+        data=st.data(),
+    )
+    def test_dropping_any_timely_id_invalidates(self, ids, data):
+        ranks = spaced_ranks(sorted(ids))
+        victim = data.draw(st.sampled_from(sorted(ids)))
+        del ranks[victim]
+        assert not is_valid_ranks(ids, ranks, DELTA)

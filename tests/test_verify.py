@@ -1,0 +1,32 @@
+"""Tests for the one-command reproduction verifier."""
+
+from __future__ import annotations
+
+from repro.analysis import ClaimResult, verify_reproduction
+from repro.cli import main
+
+
+class TestVerifyReproduction:
+    def test_all_claims_pass(self):
+        results = verify_reproduction()
+        assert results, "no claims registered"
+        failing = [claim for claim in results if not claim.passed]
+        assert not failing, [claim.line() for claim in failing]
+
+    def test_claim_lines_format(self):
+        passed = ClaimResult("x", True, "d")
+        failed = ClaimResult("y", False)
+        assert passed.line() == "[PASS] x  (d)"
+        assert failed.line() == "[FAIL] y"
+
+    def test_covers_all_three_theorems(self):
+        claims = " ".join(claim.claim for claim in verify_reproduction())
+        for theorem in ("IV.10", "V.3", "VI.3"):
+            assert theorem in claims
+
+    def test_cli_verify(self, capsys):
+        code = main(["verify"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "claims verified" in out
+        assert "[FAIL]" not in out

@@ -1,0 +1,192 @@
+"""Payload-hygiene tests: malformed Byzantine payloads must never crash or
+corrupt a correct process.
+
+Found-by-adversarial-testing regression: ``float('nan')`` ranks pass the
+``< δ`` rejection in ``isValid`` (every NaN comparison is False), survive
+trimming unpredictably, and used to crash correct processes at ``Round()``.
+String ids used to crash ``sorted()`` with mixed-type comparisons. These
+tests lock the sanitization layer in place across every protocol.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from helpers import assert_renaming_ok, standard_ids
+from repro import (
+    OrderPreservingRenaming,
+    SystemParams,
+    TwoStepRenaming,
+    run_protocol,
+)
+from repro.baselines import FloodSetRenaming, OkunCrashRenaming
+from repro.core.messages import (
+    EchoMessage,
+    IdMessage,
+    MultiEchoMessage,
+    RanksMessage,
+    ReadyMessage,
+)
+from repro.core.validation import is_sound_id, is_sound_rank, is_sound_vote
+from repro.sim import Adversary
+
+
+class PoisonAdversary(Adversary):
+    """Floods every link with structurally malformed protocol payloads."""
+
+    def _payloads(self):
+        nan = float("nan")
+        return [
+            IdMessage("not-an-int"),
+            IdMessage(None),
+            IdMessage(-5),
+            IdMessage(True),
+            EchoMessage("x"),
+            ReadyMessage(3.5),
+            RanksMessage(entries=(("id", nan),)),
+            RanksMessage(entries=((7, nan), (8, nan))),
+            RanksMessage(entries=((7, float("inf")),)),
+            RanksMessage(entries=((7, "high"),)),
+            MultiEchoMessage(ids=("a", 5, None)),
+            MultiEchoMessage(ids=(nan,)),
+        ]
+
+    def send(self, round_no, correct_outboxes):
+        payloads = self._payloads()
+        return {
+            slot: {link: list(payloads) for link in self.ctx.topology.labels()}
+            for slot in self.ctx.byzantine
+        }
+
+
+class NaNVoteAdversary(Adversary):
+    """Behaves silently except for well-formed-looking NaN votes — the exact
+    historical crash vector."""
+
+    def send(self, round_no, correct_outboxes):
+        correct_ids = sorted(self.ctx.ids[i] for i in self.ctx.correct)
+        vote = RanksMessage.from_dict({i: float("nan") for i in correct_ids})
+        return {
+            slot: {link: [vote] for link in self.ctx.topology.labels()}
+            for slot in self.ctx.byzantine
+        }
+
+
+class TestSoundnessHelpers:
+    def test_sound_ranks(self):
+        assert is_sound_rank(3)
+        assert is_sound_rank(Fraction(7, 2))
+        assert is_sound_rank(3.5)
+        assert not is_sound_rank(float("nan"))
+        assert not is_sound_rank(float("inf"))
+        assert not is_sound_rank(float("-inf"))
+        assert not is_sound_rank("3")
+        assert not is_sound_rank(None)
+        assert not is_sound_rank(True)
+
+    def test_sound_ids(self):
+        assert is_sound_id(1)
+        assert is_sound_id(10**18)
+        assert not is_sound_id(0)
+        assert not is_sound_id(-3)
+        assert not is_sound_id(True)
+        assert not is_sound_id("5")
+        assert not is_sound_id(5.0)
+
+    def test_sound_votes(self):
+        assert is_sound_vote({1: Fraction(1), 2: 2.5})
+        assert not is_sound_vote({1: float("nan")})
+        assert not is_sound_vote({"1": Fraction(1)})
+        assert not is_sound_vote({1: Fraction(1), 2: "x"})
+
+
+class TestPoisonResilience:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_alg1_survives_poison(self, seed):
+        result = run_protocol(
+            OrderPreservingRenaming,
+            n=7,
+            t=2,
+            ids=standard_ids(7),
+            adversary=PoisonAdversary(),
+            seed=seed,
+        )
+        assert_renaming_ok(result, SystemParams(7, 2).namespace_bound)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_alg4_survives_poison(self, seed):
+        result = run_protocol(
+            TwoStepRenaming,
+            n=11,
+            t=2,
+            ids=standard_ids(11),
+            adversary=PoisonAdversary(),
+            seed=seed,
+        )
+        assert_renaming_ok(result, 121)
+
+    def test_okun_survives_poison(self):
+        result = run_protocol(
+            OkunCrashRenaming,
+            n=7,
+            t=2,
+            ids=standard_ids(7),
+            adversary=PoisonAdversary(),
+            seed=0,
+        )
+        assert_renaming_ok(result, 7)
+
+    def test_floodset_survives_poison(self):
+        result = run_protocol(
+            FloodSetRenaming,
+            n=7,
+            t=2,
+            ids=standard_ids(7),
+            adversary=PoisonAdversary(),
+            seed=0,
+        )
+        assert_renaming_ok(result, 7)
+
+    def test_nan_votes_regression(self):
+        """The exact historical crash: NaN ranks through isValid."""
+        result = run_protocol(
+            OrderPreservingRenaming,
+            n=7,
+            t=2,
+            ids=standard_ids(7),
+            adversary=NaNVoteAdversary(),
+            seed=0,
+        )
+        assert_renaming_ok(result, SystemParams(7, 2).namespace_bound)
+
+    def test_aa_survives_nan(self):
+        from repro.agreement import initial_values_factory
+        from repro.agreement.approximate import ValueMessage
+
+        class NaNValues(Adversary):
+            def send(self, round_no, correct_outboxes):
+                message = ValueMessage(float("nan"))
+                return {
+                    slot: {
+                        link: [message]
+                        for link in self.ctx.topology.labels()
+                    }
+                    for slot in self.ctx.byzantine
+                }
+
+        ids = standard_ids(7)
+        values = {identifier: Fraction(identifier) for identifier in ids}
+        result = run_protocol(
+            initial_values_factory(values, rounds=4),
+            n=7,
+            t=2,
+            ids=ids,
+            adversary=NaNValues(),
+            seed=0,
+        )
+        correct_inputs = [values[result.ids[i]] for i in result.correct]
+        for index in result.correct:
+            value = result.outputs[index]
+            assert min(correct_inputs) <= value <= max(correct_inputs)

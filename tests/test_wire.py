@@ -1,0 +1,179 @@
+"""Tests for the binary wire codec, including bit-model grounding."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.agreement.approximate import ValueMessage
+from repro.agreement.eig import RelayMessage
+from repro.baselines.splitting import ClaimMessage
+from repro.broadcast.bracha import InitialMessage
+from repro.core.messages import (
+    EchoMessage,
+    IdMessage,
+    MultiEchoMessage,
+    RanksMessage,
+    ReadyMessage,
+)
+from repro.wire import (
+    WireError,
+    decode_message,
+    encode_message,
+    encoded_bits,
+    read_varint,
+    wire_types,
+    write_varint,
+)
+
+ids_st = st.integers(min_value=1, max_value=2**40)
+ranks_st = st.fractions(min_value=-10**6, max_value=10**6)
+
+
+class TestVarints:
+    @given(st.integers(min_value=0, max_value=2**70))
+    def test_roundtrip(self, value):
+        out = bytearray()
+        write_varint(value, out)
+        decoded, offset = read_varint(bytes(out), 0)
+        assert decoded == value and offset == len(out)
+
+    def test_small_values_one_byte(self):
+        out = bytearray()
+        write_varint(127, out)
+        assert len(out) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(WireError):
+            write_varint(-1, bytearray())
+
+    def test_truncated_rejected(self):
+        out = bytearray()
+        write_varint(10**9, out)
+        with pytest.raises(WireError):
+            read_varint(bytes(out[:-1]), 0)
+
+
+class TestRoundtrips:
+    @given(identifier=ids_st)
+    def test_control_messages(self, identifier):
+        for cls in (IdMessage, EchoMessage, ReadyMessage):
+            message = cls(identifier)
+            assert decode_message(encode_message(message)) == message
+
+    @given(entries=st.dictionaries(ids_st, ranks_st, max_size=12))
+    def test_ranks_message(self, entries):
+        message = RanksMessage.from_dict(entries)
+        assert decode_message(encode_message(message)) == message
+
+    @given(ids=st.lists(ids_st, max_size=15))
+    def test_multiecho(self, ids):
+        message = MultiEchoMessage.from_ids(ids)
+        assert decode_message(encode_message(message)) == message
+
+    @given(value=ranks_st)
+    def test_value_message(self, value):
+        message = ValueMessage(value)
+        assert decode_message(encode_message(message)) == message
+
+    def test_float_value_exact(self):
+        message = ValueMessage(0.1)
+        decoded = decode_message(encode_message(message))
+        # Encoded as the float's exact binary fraction.
+        assert decoded.value == Fraction(*(0.1).as_integer_ratio())
+
+    @given(identifier=ids_st, lo=st.integers(1, 100), width=st.integers(0, 50))
+    def test_claim(self, identifier, lo, width):
+        message = ClaimMessage(identifier, lo, lo + width)
+        assert decode_message(encode_message(message)) == message
+
+    def test_relay(self):
+        message = RelayMessage(
+            entries=(((0, 3), 42), ((1,), -7), ((), 5))
+        )
+        assert decode_message(encode_message(message)) == message
+
+    @given(value=st.integers(min_value=-10**9, max_value=10**9))
+    def test_broadcast_values(self, value):
+        message = InitialMessage(value)
+        assert decode_message(encode_message(message)) == message
+
+    def test_every_registered_type_roundtrips(self):
+        samples = {
+            "IdMessage": IdMessage(5),
+            "EchoMessage": EchoMessage(5),
+            "ReadyMessage": ReadyMessage(5),
+            "InitialMessage": InitialMessage(9),
+            "EchoValueMessage": None,
+            "ReadyValueMessage": None,
+            "PhaseValueMessage": None,
+            "KingMessage": None,
+            "RanksMessage": RanksMessage.from_dict({1: Fraction(3, 2)}),
+            "MultiEchoMessage": MultiEchoMessage.from_ids([1, 2]),
+            "ValueMessage": ValueMessage(Fraction(1, 3)),
+            "ClaimMessage": ClaimMessage(4, 1, 8),
+            "RelayMessage": RelayMessage(entries=(((2,), 6),)),
+        }
+        for cls in wire_types():
+            sample = samples.get(cls.__name__)
+            if sample is None:
+                sample = cls(7)
+            assert decode_message(encode_message(sample)) == sample
+
+
+class TestMalformed:
+    def test_empty(self):
+        with pytest.raises(WireError):
+            decode_message(b"")
+
+    def test_unknown_tag(self):
+        with pytest.raises(WireError):
+            decode_message(bytes([200]))
+
+    def test_trailing_garbage(self):
+        data = encode_message(IdMessage(5)) + b"\x00"
+        with pytest.raises(WireError):
+            decode_message(data)
+
+    def test_zero_denominator(self):
+        good = bytearray(encode_message(ValueMessage(Fraction(1, 3))))
+        good[-1] = 0  # denominator varint -> 0
+        with pytest.raises(WireError):
+            decode_message(bytes(good))
+
+    def test_unregistered_type(self):
+        from repro.sim.messages import Message
+
+        class Strange(Message):
+            pass
+
+        with pytest.raises(WireError):
+            encode_message(Strange())
+
+
+class TestBitModelGrounding:
+    """The bit_size model must track real encoded sizes (experiment E6's
+    accounting is only meaningful if it does). The model is an upper-bound
+    style estimate with fixed per-field widths; real varint encodings of
+    laptop-scale payloads must come in at or under it."""
+
+    def test_control_messages_within_model(self):
+        for identifier in (1, 1000, 2**20):
+            for cls in (IdMessage, EchoMessage, ReadyMessage):
+                message = cls(identifier)
+                assert encoded_bits(message) <= message.bit_size(id_bits=21) + 16
+
+    def test_ranks_message_scales_with_model(self):
+        small = RanksMessage.from_dict({1: Fraction(3, 2)})
+        big = RanksMessage.from_dict(
+            {i: Fraction(i, 3) + i for i in range(1, 20)}
+        )
+        assert encoded_bits(big) > encoded_bits(small)
+        assert encoded_bits(big) <= big.bit_size(id_bits=21, rank_bits=16)
+
+    def test_multiecho_within_model(self):
+        message = MultiEchoMessage.from_ids(range(1, 30))
+        assert encoded_bits(message) <= message.bit_size(id_bits=21) + 16

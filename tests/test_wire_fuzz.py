@@ -1,0 +1,57 @@
+"""Codec robustness: arbitrary bytes must never escape as non-WireError.
+
+A decoder that throws IndexError/RecursionError/MemoryError on crafted
+input is a denial-of-service primitive; `decode_message` must map every
+malformed buffer to :class:`WireError` and nothing else.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wire import WireError, decode_message, encode_message
+
+
+@settings(max_examples=300, deadline=None)
+@given(data=st.binary(max_size=200))
+def test_decode_never_crashes(data):
+    try:
+        message = decode_message(data)
+    except WireError:
+        return
+    # Anything that decodes must re-encode to the same bytes (canonical
+    # encodings only) — or at least to an equal message.
+    assert decode_message(encode_message(message)) == message
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    data=st.binary(min_size=1, max_size=100),
+    flips=st.lists(st.integers(min_value=0, max_value=99), max_size=4),
+)
+def test_bitflips_on_valid_messages(data, flips):
+    """Corrupting a valid encoding yields WireError or a decodable message —
+    never an unexpected exception."""
+    from repro.core.messages import MultiEchoMessage
+
+    encoded = bytearray(encode_message(MultiEchoMessage.from_ids([1, 5, 9])))
+    for flip in flips:
+        position = flip % len(encoded)
+        encoded[position] ^= 0xFF
+    try:
+        decode_message(bytes(encoded))
+    except WireError:
+        pass
+
+
+def test_huge_length_prefix_rejected_quickly():
+    """A length prefix claiming 2^60 entries must fail fast (truncation),
+    not attempt a giant allocation."""
+    from repro.wire import write_varint
+
+    out = bytearray([16])  # RanksMessage tag
+    write_varint(2**60, out)
+    with pytest.raises(WireError):
+        decode_message(bytes(out))
