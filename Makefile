@@ -1,0 +1,22 @@
+# Convenience targets; everything assumes the in-tree layout (PYTHONPATH=src).
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench smoke
+
+## Tier-1: the full unit/integration suite (what CI gates on).
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Tier-2: the E1-E12 experiment suite; regenerates benchmarks/results/.
+bench:
+	$(PYTHON) -m pytest -q benchmarks/
+
+## Fast end-to-end check: a small sweep through the process pool with
+## caching, via the CLI. Catches pool pickling and cache regressions in
+## seconds without running the full benchmark suite.
+smoke:
+	$(PYTHON) -m repro.cli sweep --algorithms alg1 okun-crash \
+		--sizes 4:1 5:1 --attacks silent crash --seeds 0 1 \
+		--workers 2

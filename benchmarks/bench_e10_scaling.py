@@ -21,6 +21,7 @@ from repro import (
     run_protocol,
 )
 from repro.adversary import make_adversary
+from repro.analysis import SweepConfig, run_sweep
 from repro.baselines import consensus_renaming_factory
 from repro.workloads import make_ids
 
@@ -56,6 +57,24 @@ def test_e10_alg4_scaling(benchmark, n, t):
 
     result = benchmark(run)
     assert result.metrics.round_count == 2
+
+
+SWEEP = SweepConfig(
+    algorithms=["alg1"],
+    sizes=[(7, 2), (10, 3)],
+    attacks=["silent", "id-forging"],
+    seeds=(0, 1),
+)
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_e10_sweep_workers(benchmark, workers):
+    """Serial vs process-pool execution of the same 8-config sweep — the
+    wall-clock cost of the executor itself. On a multi-core box the
+    workers=2 row should come in near half the workers=1 row; on one core
+    the two rows bound the pool's overhead instead."""
+    records = benchmark(lambda: run_sweep(SWEEP, workers=workers))
+    assert len(records) == 8
 
 
 @pytest.mark.parametrize("t", [1, 2, 3])

@@ -29,7 +29,7 @@ from repro import (
     run_protocol,
 )
 from repro.adversary import make_adversary
-from repro.analysis import bar_chart, check_renaming, format_table
+from repro.analysis import bar_chart, check_renaming, format_table, parallel_map
 from repro.workloads import make_ids
 
 EARLY = partial(
@@ -64,18 +64,24 @@ def freeze_latency(n, t, attack, seed=0):
 
 
 def run_grid():
-    benign = {
-        (n, t): max(
-            freeze_latency(n, t, attack, seed)
-            for attack in BENIGN
-            for seed in (0, 1)
-        )
+    benign_cells = [
+        (n, t, attack, seed)
         for n, t in SIZES
-    }
-    active = {
-        (n, t): [freeze_latency(n, t, attack) for attack in ACTIVE]
-        for n, t in SIZES[:2]
-    }
+        for attack in BENIGN
+        for seed in (0, 1)
+    ]
+    active_cells = [(n, t, attack) for n, t in SIZES[:2] for attack in ACTIVE]
+    latencies = parallel_map(freeze_latency, benign_cells + active_cells)
+
+    benign = {}
+    for (n, t, _attack, _seed), latency in zip(benign_cells, latencies):
+        previous = benign.get((n, t), 0)
+        benign[(n, t)] = max(previous, latency)
+    active = {}
+    for (n, t, _attack), latency in zip(
+        active_cells, latencies[len(benign_cells):]
+    ):
+        active.setdefault((n, t), []).append(latency)
     return benign, active
 
 

@@ -29,7 +29,7 @@ from functools import partial
 from bench_utils import once
 from repro import OrderPreservingRenaming, RenamingOptions, SystemParams, run_protocol
 from repro.adversary import make_adversary
-from repro.analysis import check_renaming, format_table
+from repro.analysis import check_renaming, format_table, parallel_map
 from repro.workloads import make_ids
 
 T = 3
@@ -66,7 +66,8 @@ def probe(n: int):
 
 
 def run_grid():
-    return {n: probe(n) for n in range(3 * T + 1, EDGE + 2)}
+    sizes = range(3 * T + 1, EDGE + 2)
+    return dict(zip(sizes, parallel_map(probe, [(n,) for n in sizes])))
 
 
 def test_e12_open_question(benchmark, publish):

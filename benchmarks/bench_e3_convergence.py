@@ -24,7 +24,7 @@ from bench_utils import once
 from repro import OrderPreservingRenaming, SystemParams, run_protocol
 from repro.adversary import make_adversary
 from repro.agreement import initial_values_factory
-from repro.analysis import format_table, log_curve
+from repro.analysis import format_table, log_curve, parallel_map
 from repro.workloads import make_ids
 
 
@@ -73,17 +73,21 @@ def aa_contraction(n, t, rounds=5, seed=0):
 
 
 def run_measurements():
-    per_round = {
-        (n, t): rank_spreads(n, t, "divergence-valid")
-        for (n, t) in [(7, 2), (10, 3), (13, 4)]
-    }
+    spread_sizes = [(7, 2), (10, 3), (13, 4)]
     # (4, 1) and (8, 2) are the t | N-2t cases where the paper's sigma
     # formula overcounts — the measured rate lands between realized_sigma
     # and sigma there.
-    aa = {
-        (n, t): aa_contraction(n, t)
-        for (n, t) in [(4, 1), (7, 2), (8, 2), (10, 3), (13, 3)]
-    }
+    aa_sizes = [(4, 1), (7, 2), (8, 2), (10, 3), (13, 3)]
+    per_round = dict(
+        zip(
+            spread_sizes,
+            parallel_map(
+                rank_spreads,
+                [(n, t, "divergence-valid") for n, t in spread_sizes],
+            ),
+        )
+    )
+    aa = dict(zip(aa_sizes, parallel_map(aa_contraction, aa_sizes)))
     return per_round, aa
 
 

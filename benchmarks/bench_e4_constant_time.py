@@ -20,7 +20,7 @@ from __future__ import annotations
 from bench_utils import once
 from repro import ConstantTimeRenaming, SystemParams, run_protocol
 from repro.adversary import make_adversary
-from repro.analysis import check_renaming, format_table
+from repro.analysis import check_renaming, format_table, parallel_map
 from repro.workloads import make_ids
 
 ATTACKS = ["id-forging", "divergence-valid", "boundary-votes", "rank-skew"]
@@ -67,7 +67,10 @@ def measure(t: int):
 
 
 def run_grid():
-    return {t: measure(t) for t in (1, 2, 3)}
+    fault_bounds = (1, 2, 3)
+    return dict(
+        zip(fault_bounds, parallel_map(measure, [(t,) for t in fault_bounds]))
+    )
 
 
 def test_e4_theorem_v3(benchmark, publish):

@@ -21,7 +21,7 @@ from functools import partial
 from bench_utils import once
 from repro import SystemParams, TwoStepOptions, TwoStepRenaming, run_protocol
 from repro.adversary import make_adversary
-from repro.analysis import check_renaming, format_table, step_curve
+from repro.analysis import check_renaming, format_table, parallel_map, step_curve
 from repro.workloads import make_ids
 
 IN_REGIME = [(4, 1), (11, 2), (12, 2), (22, 3)]
@@ -59,33 +59,36 @@ def measure_in_regime(n, t):
     return ok, worst_delta, min_gap
 
 
+def broken_fraction(n, t=2, seeds=6):
+    """Order-broken fraction at one N (resilience check disabled)."""
+    options = TwoStepOptions(enforce_resilience=False)
+    broken = 0
+    for seed in range(seeds):
+        result = run_protocol(
+            partial(TwoStepRenaming, options=options),
+            n=n,
+            t=t,
+            ids=make_ids("uniform", n, seed=seed),
+            adversary=make_adversary("selective-echo"),
+            seed=seed,
+        )
+        report = check_renaming(result, n * n)
+        if not report.order_preservation:
+            broken += 1
+    return broken / seeds
+
+
 def crossover(t=2, seeds=6):
     """Fraction of order-broken runs as N crosses 2t^2 + t."""
-    options = TwoStepOptions(enforce_resilience=False)
-    outcome = {}
-    for n in range(7, 14):
-        broken = 0
-        for seed in range(seeds):
-            result = run_protocol(
-                partial(TwoStepRenaming, options=options),
-                n=n,
-                t=t,
-                ids=make_ids("uniform", n, seed=seed),
-                adversary=make_adversary("selective-echo"),
-                seed=seed,
-            )
-            report = check_renaming(result, n * n)
-            if not report.order_preservation:
-                broken += 1
-        outcome[n] = broken / seeds
-    return outcome
+    sizes = range(7, 14)
+    return dict(
+        zip(sizes, parallel_map(broken_fraction, [(n, t, seeds) for n in sizes]))
+    )
 
 
 def run_all():
-    return (
-        {(n, t): measure_in_regime(n, t) for n, t in IN_REGIME},
-        crossover(),
-    )
+    in_regime = parallel_map(measure_in_regime, IN_REGIME)
+    return dict(zip(IN_REGIME, in_regime)), crossover()
 
 
 def test_e5_theorem_vi3(benchmark, publish):

@@ -24,7 +24,7 @@ from repro import (
     run_protocol,
 )
 from repro.adversary import make_adversary
-from repro.analysis import format_table
+from repro.analysis import format_table, parallel_map
 from repro.sim.messages import KIND_BITS, RANK_FRACTION_BITS, int_bits
 from repro.workloads import DEFAULT_NAMESPACE, make_ids
 
@@ -57,10 +57,9 @@ def measure_alg4(n, t, seed=0):
 
 
 def run_grid():
-    return (
-        {(n, t): measure_alg1(n, t) for n, t in ALG1_SIZES},
-        {(n, t): measure_alg4(n, t) for n, t in ALG4_SIZES},
-    )
+    alg1 = parallel_map(measure_alg1, ALG1_SIZES)
+    alg4 = parallel_map(measure_alg4, ALG4_SIZES)
+    return dict(zip(ALG1_SIZES, alg1)), dict(zip(ALG4_SIZES, alg4))
 
 
 def alg1_peak_bits_bound(n, t):

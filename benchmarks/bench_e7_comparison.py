@@ -17,35 +17,24 @@ message size explodes; translated's namespace doubles and loses order.
 from __future__ import annotations
 
 from bench_utils import once
-from repro.analysis import ALGORITHMS, format_table, run_experiment
-from repro.workloads import make_ids
+from repro.analysis import ALGORITHMS, SweepConfig, format_table, run_sweep
 
 CONTENDERS = ["alg1", "alg1-constant", "alg4", "translated", "consensus"]
 SIZES = [(11, 2), (13, 3)]
 
 
 def run_grid():
-    records = {}
-    for n, t in SIZES:
-        ids = make_ids("uniform", n, seed=0)
-        for algorithm in CONTENDERS:
-            spec = ALGORITHMS[algorithm]
-            if not spec.supports(n, t):
-                continue
-            records[(algorithm, n, t)] = run_experiment(
-                algorithm, n, t, ids, attack="silent", seed=0,
-                collect_trace=True,
-            )
-    return records
-
-
-def effective_rounds(record):
-    """Decision latency: settled-round for the split baselines (they idle at
-    a fixed horizon), wall rounds for everything else."""
-    settled = record.result.trace.select(event="settled")
-    if settled:
-        return max(e.round_no for e in settled if e.process in record.result.correct)
-    return record.rounds
+    # collect_trace=True so each worker can compute the settled round
+    # (decision latency) before the trace is discarded; summaries expose it
+    # as .effective_rounds.
+    config = SweepConfig(
+        algorithms=CONTENDERS,
+        sizes=SIZES,
+        attacks=["silent"],
+        seeds=(0,),
+        collect_trace=True,
+    )
+    return {(s.algorithm, s.n, s.t): s for s in run_sweep(config)}
 
 
 def test_e7_comparison(benchmark, publish):
@@ -58,7 +47,7 @@ def test_e7_comparison(benchmark, publish):
             algorithm,
             n,
             t,
-            effective_rounds(record),
+            record.effective_rounds,
             record.correct_messages,
             record.peak_message_bits,
             record.max_name,
@@ -75,7 +64,7 @@ def test_e7_comparison(benchmark, publish):
         # Consensus messages blow up: peak EIG message dwarfs Alg. 1's.
         assert consensus.peak_message_bits > alg1.peak_message_bits
         # Translated pays more rounds than Alg. 1 and doubles the namespace.
-        assert effective_rounds(translated) > alg1.rounds
+        assert translated.effective_rounds > alg1.rounds
         if ("alg4", n, t) in by_key:
             assert by_key[("alg4", n, t)].rounds == 2
 

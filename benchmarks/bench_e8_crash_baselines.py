@@ -21,40 +21,26 @@ from bench_utils import once
 from repro import SystemParams
 from repro.analysis import (
     ALGORITHMS,
+    SweepConfig,
     format_table,
     fraction_true,
-    run_experiment,
+    group_by,
+    run_sweep,
 )
-from repro.workloads import make_ids
 
 SIZES = [(5, 1), (7, 2), (10, 3), (13, 4)]
 BASELINES = ["okun-crash", "cht", "floodset", "alg1"]
 
 
-def effective_rounds(record):
-    settled = record.result.trace.select(event="settled")
-    if settled:
-        return max(
-            e.round_no for e in settled if e.process in record.result.correct
-        )
-    return record.rounds
-
-
 def run_grid():
-    records = {}
-    for n, t in SIZES:
-        ids = make_ids("uniform", n, seed=0)
-        for algorithm in BASELINES:
-            group = []
-            for seed in (0, 1, 2):
-                group.append(
-                    run_experiment(
-                        algorithm, n, t, ids, attack="crash", seed=seed,
-                        collect_trace=True,
-                    )
-                )
-            records[(algorithm, n, t)] = group
-    return records
+    config = SweepConfig(
+        algorithms=BASELINES,
+        sizes=SIZES,
+        attacks=["crash"],
+        seeds=(0, 1, 2),
+        collect_trace=True,
+    )
+    return group_by(run_sweep(config), "algorithm", "n", "t")
 
 
 def test_e8_crash_baselines(benchmark, publish):
@@ -65,7 +51,7 @@ def test_e8_crash_baselines(benchmark, publish):
         spec = ALGORITHMS[algorithm]
         ok = fraction_true([r.report.ok_without_order() for r in group])
         order_ok = fraction_true([r.report.ok for r in group])
-        rounds = max(effective_rounds(r) for r in group)
+        rounds = max(r.effective_rounds for r in group)
         max_name = max(r.max_name for r in group)
         rows.append([
             algorithm, n, t, rounds, max_name,

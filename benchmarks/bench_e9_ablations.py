@@ -31,7 +31,7 @@ from repro import (
     run_protocol,
 )
 from repro.adversary import make_adversary
-from repro.analysis import check_renaming, format_table
+from repro.analysis import check_renaming, format_table, parallel_map
 from repro.workloads import make_ids
 
 SEEDS = range(6)
@@ -89,13 +89,17 @@ def run_grid():
             8,
         ),
     }
+    # One cell per (variant, case): the full and ablated runs of every case
+    # fan out together; partials of module-level classes pickle under fork.
+    cells = [
+        (factory, n, t, attack, ns)
+        for (exp, defense, attack), (full, ablated, (n, t), ns) in cases.items()
+        for factory in (full, ablated)
+    ]
+    fractions = parallel_map(breakage, cells)
     results = {}
-    for (exp, defense, attack), (full, ablated, (n, t), ns) in cases.items():
-        results[(exp, defense, attack)] = (
-            breakage(full, n, t, attack, ns),
-            breakage(ablated, n, t, attack, ns),
-            (n, t),
-        )
+    for index, (key, (_, _, size, _)) in enumerate(cases.items()):
+        results[key] = (fractions[2 * index], fractions[2 * index + 1], size)
     return results
 
 

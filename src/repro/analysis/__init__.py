@@ -7,6 +7,15 @@ from .experiments import (
     run_experiment,
 )
 from .charts import bar_chart, decay_ratio, log_curve, step_curve
+from .executor import (
+    ExperimentSummary,
+    ResultCache,
+    RunTask,
+    SweepExecutor,
+    SweepStats,
+    parallel_map,
+    summarize_record,
+)
 from .convergence import (
     contraction_factors,
     rank_snapshots,
@@ -28,10 +37,15 @@ __all__ = [
     "CSV_FIELDS",
     "ClaimResult",
     "ExperimentRecord",
+    "ExperimentSummary",
     "PropertyReport",
+    "ResultCache",
     "RunArchive",
+    "RunTask",
     "Summary",
     "SweepConfig",
+    "SweepExecutor",
+    "SweepStats",
     "banner",
     "bar_chart",
     "check_renaming",
@@ -45,6 +59,7 @@ __all__ = [
     "load_run",
     "log_curve",
     "median_of",
+    "parallel_map",
     "rank_snapshots",
     "record_row",
     "spread_for_ids",
@@ -57,5 +72,6 @@ __all__ = [
     "run_experiment",
     "run_sweep",
     "summarise",
+    "summarize_record",
     "summarize_views",
 ]

@@ -1,0 +1,411 @@
+"""Parallel sweep execution with deterministic ordering and result caching.
+
+:func:`repro.analysis.sweep.run_sweep` historically executed its
+(algorithm × (n, t) × attack × seed) grid strictly serially. Every run is a
+pure function of its configuration (all randomness derives from the run seed,
+see :mod:`repro.sim.rng`), so sweeps are embarrassingly parallel. This module
+owns that fan-out:
+
+* :class:`SweepExecutor` distributes a :class:`~repro.analysis.sweep.SweepConfig`
+  grid over a :class:`concurrent.futures.ProcessPoolExecutor` worker pool.
+  Results are keyed by configuration index, never by completion order, so
+  tables and CSVs are byte-identical to the serial path. ``workers=1`` falls
+  back to a plain in-process loop (debugger- and profiler-friendly).
+* :class:`ExperimentSummary` is the slim, picklable row that crosses the
+  process boundary. The full :class:`~repro.analysis.experiments.ExperimentRecord`
+  drags the entire :class:`~repro.sim.runner.RunResult` (live ``Process``
+  objects, bound RNGs, traces) and is neither cheap nor reliably picklable.
+* :class:`ResultCache` memoises summaries on disk, keyed by a stable hash of
+  the configuration, so re-running a benchmark only executes configurations
+  that changed.
+* :func:`parallel_map` is the generic ordered fan-out used by benchmark
+  grids that drive :func:`~repro.sim.runner.run_protocol` directly (custom
+  options, ablations) and therefore cannot be expressed as a ``SweepConfig``.
+
+Every run records its own wall-clock (``elapsed_s``) so sweeps double as
+timing measurements.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Callable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..workloads.ids import make_ids
+from .experiments import ExperimentRecord, run_experiment
+from .properties import PropertyReport
+
+__all__ = [
+    "ExperimentSummary",
+    "ResultCache",
+    "RunTask",
+    "SweepExecutor",
+    "SweepStats",
+    "parallel_map",
+    "resolve_workers",
+    "summarize_record",
+]
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalise a ``workers=`` knob: ``None`` means one per CPU."""
+    if workers is None:
+        return os.cpu_count() or 1
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+@dataclass(frozen=True)
+class RunTask:
+    """One fully-specified sweep cell — primitives only, so it pickles
+    cheaply into worker processes and hashes stably into cache keys."""
+
+    algorithm: str
+    n: int
+    t: int
+    attack: str
+    seed: int
+    workload: str = "uniform"
+    collect_trace: bool = False
+    max_rounds: int = 1000
+
+
+@dataclass
+class ExperimentSummary:
+    """One run's outcome in transferable table-row form.
+
+    Field-compatible with :class:`~repro.analysis.experiments.ExperimentRecord`
+    for everything the tables, ``group_by`` and the CSV exporter read — but
+    carries no simulator state, so it crosses process boundaries and
+    serialises to JSON for the on-disk cache.
+
+    ``settled_round`` is the last round at which any correct process settled
+    its decision (decision latency; requires ``collect_trace=True``, else
+    ``None``). ``elapsed_s`` is the run's own wall-clock; ``cached`` marks
+    summaries restored from a :class:`ResultCache` rather than executed.
+    """
+
+    algorithm: str
+    n: int
+    t: int
+    attack: str
+    seed: int
+    workload: str
+    rounds: int
+    correct_messages: int
+    correct_bits: int
+    peak_message_bits: int
+    byzantine: Tuple[int, ...]
+    report: PropertyReport
+    settled_round: Optional[int] = None
+    elapsed_s: float = 0.0
+    cached: bool = False
+
+    @property
+    def max_name(self) -> int:
+        return max(self.report.names.values()) if self.report.names else 0
+
+    @property
+    def effective_rounds(self) -> int:
+        """Decision latency: settled-round when traced (baselines that idle
+        to a fixed horizon settle early), wall rounds otherwise."""
+        return self.settled_round if self.settled_round is not None else self.rounds
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload (cache schema)."""
+        report = self.report
+        return {
+            "algorithm": self.algorithm,
+            "n": self.n,
+            "t": self.t,
+            "attack": self.attack,
+            "seed": self.seed,
+            "workload": self.workload,
+            "rounds": self.rounds,
+            "correct_messages": self.correct_messages,
+            "correct_bits": self.correct_bits,
+            "peak_message_bits": self.peak_message_bits,
+            "byzantine": list(self.byzantine),
+            "settled_round": self.settled_round,
+            "elapsed_s": self.elapsed_s,
+            "report": {
+                "names": {str(k): v for k, v in report.names.items()},
+                "namespace": report.namespace,
+                "validity": report.validity,
+                "termination": report.termination,
+                "uniqueness": report.uniqueness,
+                "order_preservation": report.order_preservation,
+                "violations": list(report.violations),
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentSummary":
+        """Inverse of :meth:`to_dict` (original-id keys back to ints)."""
+        report = payload["report"]
+        return cls(
+            algorithm=payload["algorithm"],
+            n=payload["n"],
+            t=payload["t"],
+            attack=payload["attack"],
+            seed=payload["seed"],
+            workload=payload["workload"],
+            rounds=payload["rounds"],
+            correct_messages=payload["correct_messages"],
+            correct_bits=payload["correct_bits"],
+            peak_message_bits=payload["peak_message_bits"],
+            byzantine=tuple(payload["byzantine"]),
+            settled_round=payload["settled_round"],
+            elapsed_s=payload["elapsed_s"],
+            report=PropertyReport(
+                names={int(k): v for k, v in report["names"].items()},
+                namespace=report["namespace"],
+                validity=report["validity"],
+                termination=report["termination"],
+                uniqueness=report["uniqueness"],
+                order_preservation=report["order_preservation"],
+                violations=list(report["violations"]),
+            ),
+        )
+
+
+def _settled_round(record: ExperimentRecord) -> Optional[int]:
+    """Last settle event among correct processes, if the run was traced."""
+    trace = record.result.trace
+    if trace is None:
+        return None
+    rounds = [
+        event.round_no
+        for event in trace.select(event="settled")
+        if event.process in record.result.correct
+    ]
+    return max(rounds) if rounds else None
+
+
+def summarize_record(
+    record: ExperimentRecord, workload: str = "uniform", elapsed_s: float = 0.0
+) -> ExperimentSummary:
+    """Distil a full :class:`ExperimentRecord` into a transferable summary."""
+    return ExperimentSummary(
+        algorithm=record.algorithm,
+        n=record.n,
+        t=record.t,
+        attack=record.attack,
+        seed=record.seed,
+        workload=workload,
+        rounds=record.rounds,
+        correct_messages=record.correct_messages,
+        correct_bits=record.correct_bits,
+        peak_message_bits=record.peak_message_bits,
+        byzantine=tuple(record.result.byzantine),
+        report=record.report,
+        settled_round=_settled_round(record),
+        elapsed_s=elapsed_s,
+    )
+
+
+def execute_task(task: RunTask) -> ExperimentSummary:
+    """Run one sweep cell and summarise it (the worker entry point)."""
+    start = time.perf_counter()
+    ids = make_ids(task.workload, task.n, seed=task.seed)
+    record = run_experiment(
+        task.algorithm,
+        task.n,
+        task.t,
+        ids,
+        attack=task.attack,
+        seed=task.seed,
+        collect_trace=task.collect_trace,
+        max_rounds=task.max_rounds,
+    )
+    return summarize_record(
+        record, workload=task.workload, elapsed_s=time.perf_counter() - start
+    )
+
+
+class ResultCache:
+    """On-disk memo of finished sweep cells, one JSON file per configuration.
+
+    Keys are SHA-256 hashes of the full :class:`RunTask` plus a schema
+    version, so any knob that could change the outcome (algorithm, size,
+    attack, seed, workload, round cap, tracing) misses cleanly, and schema
+    bumps invalidate everything at once. Corrupt or unreadable entries are
+    treated as misses, never as errors.
+    """
+
+    SCHEMA = 1
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def key(self, task: RunTask) -> str:
+        payload = json.dumps(
+            {
+                "schema": self.SCHEMA,
+                "algorithm": task.algorithm,
+                "n": task.n,
+                "t": task.t,
+                "attack": task.attack,
+                "seed": task.seed,
+                "workload": task.workload,
+                "collect_trace": task.collect_trace,
+                "max_rounds": task.max_rounds,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def _path(self, task: RunTask) -> Path:
+        return self.root / f"{self.key(task)}.json"
+
+    def load(self, task: RunTask) -> Optional[ExperimentSummary]:
+        """Return the cached summary for ``task``, or ``None`` on a miss."""
+        path = self._path(task)
+        try:
+            payload = json.loads(path.read_text())
+            summary = ExperimentSummary.from_dict(payload)
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        summary.cached = True
+        return summary
+
+    def store(self, task: RunTask, summary: ExperimentSummary) -> None:
+        """Persist ``summary`` under ``task``'s key (atomic rename)."""
+        path = self._path(task)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(summary.to_dict()))
+        tmp.replace(path)
+
+
+@dataclass
+class SweepStats:
+    """Accounting for one :meth:`SweepExecutor.run` invocation."""
+
+    executed: int = 0
+    from_cache: int = 0
+    elapsed_s: float = 0.0
+
+
+class SweepExecutor:
+    """Fan a sweep grid out over a worker pool, cache-first.
+
+    ``workers=None`` uses one worker per CPU; ``workers=1`` keeps everything
+    in-process. ``cache`` is a directory path or a :class:`ResultCache`;
+    ``None`` disables caching. ``run_hook`` (if given) is called in the
+    parent with each :class:`RunTask` that is actually executed — tests use
+    it as a run counter, progress displays as a ticker.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache: Union[None, str, Path, ResultCache] = None,
+        run_hook: Optional[Callable[[RunTask], None]] = None,
+    ) -> None:
+        self.workers = resolve_workers(workers)
+        if cache is not None and not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self.run_hook = run_hook
+        self.stats = SweepStats()
+
+    def run(self, config) -> List[ExperimentSummary]:
+        """Execute (or restore) every configuration in ``config``'s grid.
+
+        The returned list is ordered exactly as
+        ``SweepConfig.configurations()`` yields, regardless of worker
+        scheduling.
+        """
+        start = time.perf_counter()
+        tasks = [
+            RunTask(
+                algorithm=algorithm,
+                n=n,
+                t=t,
+                attack=attack,
+                seed=seed,
+                workload=config.workload,
+                collect_trace=config.collect_trace,
+                max_rounds=config.max_rounds,
+            )
+            for algorithm, n, t, attack, seed in config.configurations()
+        ]
+        results: List[Optional[ExperimentSummary]] = [None] * len(tasks)
+
+        misses: List[Tuple[int, RunTask]] = []
+        from_cache = 0
+        for index, task in enumerate(tasks):
+            summary = self.cache.load(task) if self.cache is not None else None
+            if summary is not None:
+                results[index] = summary
+                from_cache += 1
+            else:
+                misses.append((index, task))
+
+        if self.run_hook is not None:
+            for _, task in misses:
+                self.run_hook(task)
+
+        if self.workers == 1 or len(misses) <= 1:
+            for index, task in misses:
+                results[index] = execute_task(task)
+        else:
+            pool_size = min(self.workers, len(misses))
+            with ProcessPoolExecutor(max_workers=pool_size) as pool:
+                ordered = pool.map(execute_task, [task for _, task in misses])
+                for (index, task), summary in zip(misses, ordered):
+                    results[index] = summary
+
+        if self.cache is not None:
+            for index, task in misses:
+                self.cache.store(task, results[index])
+
+        self.stats = SweepStats(
+            executed=len(misses),
+            from_cache=from_cache,
+            elapsed_s=time.perf_counter() - start,
+        )
+        return results  # type: ignore[return-value]
+
+
+def _call_star(item: Tuple[Callable, tuple]):
+    fn, args = item
+    return fn(*args)
+
+
+def parallel_map(
+    fn: Callable,
+    argtuples: Iterable[Sequence],
+    *,
+    workers: Optional[int] = None,
+) -> list:
+    """Ordered ``[fn(*args) for args in argtuples]`` over a process pool.
+
+    The escape hatch for benchmark grids that call ``run_protocol`` with
+    custom options and so cannot go through :class:`SweepExecutor`. ``fn``
+    and every argument must be picklable (module-level functions and
+    primitives/dataclasses). ``workers=1`` — and single-item inputs — run
+    serially in-process; ``workers=None`` uses one worker per CPU.
+    """
+    tasks = [tuple(args) for args in argtuples]
+    workers = resolve_workers(workers)
+    if workers == 1 or len(tasks) <= 1:
+        return [fn(*args) for args in tasks]
+    with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+        return list(pool.map(_call_star, [(fn, args) for args in tasks]))

@@ -31,7 +31,7 @@ from ..core import (
     SystemParams,
     TwoStepRenaming,
 )
-from ..sim import RunResult, run_protocol
+from ..sim import ConfigurationError, RunResult, run_protocol
 from ..sim.process import ProcessContext
 from .properties import PropertyReport, check_renaming
 
@@ -165,8 +165,21 @@ def run_experiment(
 
     ``namespace`` overrides the algorithm's promised bound (used when probing
     slack applies); everything else comes from :data:`ALGORITHMS`.
+
+    ``attack`` must be one of the strategies registered as meaningful for
+    ``algorithm`` (:attr:`AlgorithmSpec.attacks`); anything else raises
+    :class:`~repro.sim.errors.ConfigurationError`. Sweeps filter such
+    pairings silently, but a direct caller asking for a meaningless
+    combination (e.g. a rank attack against a crash baseline) is a
+    misconfiguration, not a measurement.
     """
     spec = ALGORITHMS[algorithm]
+    if attack not in spec.attacks:
+        valid = ", ".join(spec.attacks)
+        raise ConfigurationError(
+            f"attack {attack!r} is not meaningful against {algorithm!r}; "
+            f"valid attacks: {valid}"
+        )
     params = SystemParams(n, t)
     factory = spec.build_factory(n, t, ids, seed)
     adversary = make_adversary(attack) if t > 0 else None

@@ -11,7 +11,13 @@ import csv
 from pathlib import Path
 from typing import Iterable, List, Union
 
+from .executor import ExperimentSummary
 from .experiments import ExperimentRecord
+
+#: Row types the exporter accepts: the slim transferable summary (what
+#: ``run_sweep`` returns) or the full in-process record — the schema reads
+#: only the fields the two share.
+RecordLike = Union[ExperimentRecord, ExperimentSummary]
 
 #: Column order of the CSV schema (stable; append-only by policy).
 CSV_FIELDS: List[str] = [
@@ -33,7 +39,7 @@ CSV_FIELDS: List[str] = [
 ]
 
 
-def record_row(record: ExperimentRecord) -> List[object]:
+def record_row(record: RecordLike) -> List[object]:
     """Flatten one experiment record into the CSV schema."""
     report = record.report
     return [
@@ -56,7 +62,7 @@ def record_row(record: ExperimentRecord) -> List[object]:
 
 
 def export_csv(
-    records: Iterable[ExperimentRecord], path: Union[str, Path]
+    records: Iterable[RecordLike], path: Union[str, Path]
 ) -> Path:
     """Write records to ``path`` as CSV; returns the path written."""
     path = Path(path)

@@ -1,17 +1,30 @@
 """Parameter sweeps: grids of (algorithm × (n, t) × attack × seed) runs.
 
 Benchmarks express each experiment as a sweep plus an aggregation; this
-module owns the iteration and record collection so each bench file is just
-"define the grid, aggregate the rows, print the table".
+module owns the grid definition and record collection so each bench file is
+just "define the grid, aggregate the rows, print the table". Execution lives
+in :mod:`repro.analysis.executor`: grids fan out over a process pool (with
+deterministic result ordering) and can be memoised on disk.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
-from ..workloads.ids import make_ids
-from .experiments import ALGORITHMS, ExperimentRecord, run_experiment
+from .executor import ExperimentSummary, ResultCache, RunTask, SweepExecutor
+from .experiments import ALGORITHMS
 
 
 @dataclass(frozen=True)
@@ -44,31 +57,31 @@ class SweepConfig:
                         yield algorithm, n, t, attack, seed
 
 
-def run_sweep(config: SweepConfig) -> List[ExperimentRecord]:
-    """Execute every configuration in the grid."""
-    records: List[ExperimentRecord] = []
-    for algorithm, n, t, attack, seed in config.configurations():
-        ids = make_ids(config.workload, n, seed=seed)
-        records.append(
-            run_experiment(
-                algorithm,
-                n,
-                t,
-                ids,
-                attack=attack,
-                seed=seed,
-                collect_trace=config.collect_trace,
-                max_rounds=config.max_rounds,
-            )
-        )
-    return records
+def run_sweep(
+    config: SweepConfig,
+    *,
+    workers: Optional[int] = None,
+    cache: Union[None, str, Path, ResultCache] = None,
+    run_hook: Optional[Callable[[RunTask], None]] = None,
+) -> List[ExperimentSummary]:
+    """Execute every configuration in the grid.
+
+    ``workers=None`` uses one worker process per CPU, ``workers=1`` runs
+    serially in-process; results are ordered by configuration index either
+    way, so the two paths produce identical tables and CSVs. ``cache`` (a
+    directory or :class:`ResultCache`) skips configurations whose summaries
+    are already on disk. See :class:`repro.analysis.executor.SweepExecutor`.
+    """
+    executor = SweepExecutor(workers=workers, cache=cache, run_hook=run_hook)
+    return executor.run(config)
 
 
 def group_by(
-    records: Iterable[ExperimentRecord], *keys: str
-) -> Dict[Tuple, List[ExperimentRecord]]:
-    """Group records by attribute names, preserving insertion order."""
-    groups: Dict[Tuple, List[ExperimentRecord]] = {}
+    records: Iterable[ExperimentSummary], *keys: str
+) -> Dict[Tuple, List[ExperimentSummary]]:
+    """Group records (summaries or full records) by attribute names,
+    preserving insertion order."""
+    groups: Dict[Tuple, List[ExperimentSummary]] = {}
     for record in records:
         group_key = tuple(getattr(record, key) for key in keys)
         groups.setdefault(group_key, []).append(record)

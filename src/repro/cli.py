@@ -20,14 +20,29 @@ from .adversary import adversary_names
 from .analysis import (
     ALGORITHMS,
     SweepConfig,
+    SweepExecutor,
     format_table,
     group_by,
     render_timeline,
     run_experiment,
-    run_sweep,
     summarize_views,
 )
+from .sim import ConfigurationError
 from .workloads import get_scenario, make_ids, scenario_names, workload_names
+
+
+def _parse_workers(text: str) -> int:
+    try:
+        workers = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"workers must be an integer, got {text!r}"
+        ) from None
+    if workers < 1:
+        raise argparse.ArgumentTypeError(
+            f"workers must be >= 1, got {workers}"
+        )
+    return workers
 
 
 def _parse_size(text: str) -> Tuple[int, int]:
@@ -105,6 +120,16 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--csv", metavar="PATH", default=None,
         help="also write one CSV row per run to PATH",
+    )
+    sweep.add_argument(
+        "--workers", type=_parse_workers, default=None, metavar="N",
+        help="worker processes for the grid (default: one per CPU; 1 = "
+             "serial in-process)",
+    )
+    sweep.add_argument(
+        "--cache", metavar="DIR", default=None,
+        help="reuse cached results from DIR; only changed configurations "
+             "are executed",
     )
     return parser
 
@@ -257,7 +282,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         seeds=args.seeds,
         workload=args.workload,
     )
-    records = run_sweep(config)
+    executor = SweepExecutor(workers=args.workers, cache=args.cache)
+    records = executor.run(config)
     rows = []
     for (algorithm, n, t, attack), group in group_by(
         records, "algorithm", "n", "t", "attack"
@@ -278,11 +304,17 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             rows,
         )
     )
+    stats = executor.stats
+    print(
+        f"\n{len(records)} runs ({stats.executed} executed, "
+        f"{stats.from_cache} cached) in {stats.elapsed_s:.2f}s "
+        f"on {executor.workers} worker(s)"
+    )
     if args.csv is not None:
         from .analysis import export_csv
 
         path = export_csv(records, args.csv)
-        print(f"\n{len(records)} rows written to {path}")
+        print(f"{len(records)} rows written to {path}")
     bad = [r for r in records if not r.report.ok_without_order()]
     return 1 if bad else 0
 
@@ -290,6 +322,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     try:
         return _dispatch(build_parser().parse_args(argv))
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # Output piped into a pager/head that closed early — not an error.
         import os

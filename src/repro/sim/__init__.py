@@ -25,7 +25,7 @@ from .errors import (
 from .faults import Adversary, AdversaryContext, NullAdversary, split_fault_slots
 from .messages import KIND_BITS, Message, int_bits, total_bits
 from .metrics import RoundMetrics, RunMetrics
-from .network import SynchronousNetwork
+from .network import Delivery, SynchronousNetwork
 from .process import BROADCAST, Inbox, Outbox, Process, ProcessContext, iter_inbox
 from .rng import derive_rng, derive_seed
 from .runner import ProcessFactory, RunResult, run_protocol
@@ -37,6 +37,7 @@ __all__ = [
     "AdversaryContext",
     "BROADCAST",
     "ConfigurationError",
+    "Delivery",
     "FullMeshTopology",
     "Inbox",
     "KIND_BITS",

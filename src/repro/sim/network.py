@@ -9,6 +9,7 @@ global identity ever reaches a protocol.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Tuple
 
 from .errors import ProtocolViolationError
@@ -18,6 +19,26 @@ from .topology import FullMeshTopology
 
 #: Delivery plan: recipient global index -> recipient link label -> messages.
 DeliveryMap = Dict[int, Dict[int, List[Message]]]
+
+
+@dataclass
+class Delivery:
+    """Outcome of routing one round's outboxes.
+
+    ``plan`` is the per-recipient inbox material; ``transmissions`` keeps the
+    per-sender expanded ``(sender_link, message)`` lists from the same single
+    expansion pass, so callers (metrics accounting, adversary bookkeeping)
+    never re-expand an outbox the network already walked.
+    """
+
+    plan: DeliveryMap = field(default_factory=dict)
+    transmissions: Dict[int, List[Tuple[int, Message]]] = field(
+        default_factory=dict
+    )
+
+    def sent_count(self, sender: int) -> int:
+        """Number of link transmissions ``sender`` made this round."""
+        return len(self.transmissions.get(sender, ()))
 
 
 class SynchronousNetwork:
@@ -58,11 +79,20 @@ class SynchronousNetwork:
                     transmissions.append((out_link, message))
         return transmissions
 
-    def deliver(self, outboxes: Mapping[int, Outbox]) -> DeliveryMap:
-        """Route every sender's transmissions to recipient-local inboxes."""
-        plan: DeliveryMap = {}
+    def route(self, outboxes: Mapping[int, Outbox]) -> Delivery:
+        """Route every sender's transmissions to recipient-local inboxes.
+
+        Each outbox is expanded exactly once; the expanded transmission lists
+        are returned alongside the plan (see :class:`Delivery`) so traffic
+        accounting reuses them instead of expanding again. This is the
+        innermost loop of every run.
+        """
+        delivery = Delivery()
+        plan = delivery.plan
         for sender, outbox in outboxes.items():
-            for sender_link, message in self.expand_outbox(sender, outbox):
+            transmissions = self.expand_outbox(sender, outbox)
+            delivery.transmissions[sender] = transmissions
+            for sender_link, message in transmissions:
                 recipient = self._topology.peer_of(sender, sender_link)
                 if recipient == sender:
                     recipient_link = self._topology.self_link
@@ -71,7 +101,11 @@ class SynchronousNetwork:
                 plan.setdefault(recipient, {}).setdefault(recipient_link, []).append(
                     message
                 )
-        return plan
+        return delivery
+
+    def deliver(self, outboxes: Mapping[int, Outbox]) -> DeliveryMap:
+        """Plan-only convenience wrapper over :meth:`route`."""
+        return self.route(outboxes).plan
 
     @staticmethod
     def freeze_inbox(links: Dict[int, List[Message]]) -> Inbox:

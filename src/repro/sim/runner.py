@@ -73,10 +73,15 @@ class RunResult:
         return {self.ids[i]: self.outputs[i] for i in self.correct}
 
     def new_names(self) -> Dict[int, int]:
-        """``outputs_by_id`` narrowed to integer names (the renaming case)."""
+        """``outputs_by_id`` narrowed to integer names (the renaming case).
+
+        ``bool`` is rejected explicitly: it passes ``isinstance(..., int)``,
+        so a protocol that buggily outputs ``True`` would otherwise be
+        silently treated as name 1.
+        """
         named = {}
         for original, output in self.outputs_by_id().items():
-            if not isinstance(output, int):
+            if isinstance(output, bool) or not isinstance(output, int):
                 raise TypeError(
                     f"output for id {original} is {output!r}, not an int name"
                 )
@@ -182,15 +187,18 @@ def run_protocol(
 
         all_outboxes: Dict[int, Outbox] = dict(correct_outboxes)
         all_outboxes.update(byz_outboxes)
-        plan = network.deliver(all_outboxes)
+        # route() expands each outbox exactly once and hands the expanded
+        # transmission lists back for accounting — the hot path must never
+        # re-expand what the network already walked.
+        delivery = network.route(all_outboxes)
+        plan = delivery.plan
 
-        for index, outbox in correct_outboxes.items():
+        for index in correct_outboxes:
             metrics.count_correct(
-                record, (m for _, m in network.expand_outbox(index, outbox))
+                record, (m for _, m in delivery.transmissions[index])
             )
         record.byzantine_messages += sum(
-            len(network.expand_outbox(index, outbox))
-            for index, outbox in byz_outboxes.items()
+            delivery.sent_count(index) for index in byz_outboxes
         )
 
         empty: Inbox = {}

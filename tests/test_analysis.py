@@ -122,6 +122,18 @@ class TestRunExperiment:
         with pytest.raises(KeyError):
             run_experiment("nope", 7, 2, standard_ids(7))
 
+    def test_meaningless_attack_pairing_rejected(self):
+        """Sweeps filter unsupported pairings; direct callers must get a loud
+        ConfigurationError naming the valid attacks, not a bogus run."""
+        from repro.sim import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="valid attacks"):
+            run_experiment(
+                "okun-crash", 7, 2, standard_ids(7), attack="id-forging"
+            )
+        with pytest.raises(ConfigurationError, match="alg4"):
+            run_experiment("alg4", 11, 2, standard_ids(11), attack="divergence")
+
     def test_t_zero_runs_without_adversary(self):
         record = run_experiment("alg1", 5, 0, standard_ids(5))
         assert record.report.ok

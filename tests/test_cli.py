@@ -75,6 +75,29 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "alg1" in out and "alg4" in out
 
+    def test_sweep_parallel_and_cached(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        argv = [
+            "sweep", "--algorithms", "alg1", "--sizes", "7:2",
+            "--attacks", "silent", "--seeds", "0", "1",
+            "--workers", "2", "--cache", str(cache),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "2 executed, 0 cached" in out
+        # Second invocation hits the cache: zero runs executed.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 executed, 2 cached" in out
+
+    def test_run_rejects_meaningless_pairing(self, capsys):
+        code = main(
+            ["run", "--algorithm", "okun-crash", "--n", "7", "--t", "2",
+             "--attack", "id-forging"]
+        )
+        assert code == 2
+        assert "valid attacks" in capsys.readouterr().err
+
     def test_sweep_csv(self, capsys, tmp_path):
         target = tmp_path / "out.csv"
         code = main(

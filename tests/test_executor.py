@@ -1,0 +1,183 @@
+"""Tests for the parallel sweep executor: determinism, caching, pickling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    ExperimentSummary,
+    ResultCache,
+    RunTask,
+    SweepConfig,
+    SweepExecutor,
+    parallel_map,
+    run_sweep,
+)
+from repro.analysis.executor import execute_task, resolve_workers
+from repro.analysis.export import export_csv
+
+# 3 algorithms x 2 sizes x 2 attacks x 2 seeds = 24 configurations; the
+# crash baselines and alg1 all accept "silent" and "crash" and support
+# these sizes, so nothing is filtered out of the grid.
+GRID = SweepConfig(
+    algorithms=["alg1", "okun-crash", "floodset"],
+    sizes=[(4, 1), (5, 1)],
+    attacks=["silent", "crash"],
+    seeds=(0, 1),
+)
+
+
+def csv_bytes(records, tmp_path, name):
+    path = export_csv(records, tmp_path / name)
+    return path.read_bytes()
+
+
+class TestResolveWorkers:
+    def test_explicit_passthrough(self):
+        assert resolve_workers(1) == 1
+        assert resolve_workers(4) == 4
+
+    def test_default_is_positive(self):
+        assert resolve_workers(None) >= 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="workers"):
+            resolve_workers(0)
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial_byte_identical(self, tmp_path):
+        """The acceptance bar: workers=4 produces the same records in the
+        same order as workers=1, down to identical CSV bytes."""
+        serial = run_sweep(GRID, workers=1)
+        parallel = run_sweep(GRID, workers=4)
+        assert len(serial) == len(parallel) == 24
+        assert csv_bytes(serial, tmp_path, "serial.csv") == csv_bytes(
+            parallel, tmp_path, "parallel.csv"
+        )
+
+    def test_order_follows_configuration_index(self):
+        records = run_sweep(GRID, workers=2)
+        expected = list(GRID.configurations())
+        observed = [
+            (r.algorithm, r.n, r.t, r.attack, r.seed) for r in records
+        ]
+        assert observed == expected
+
+    def test_parallel_map_preserves_order(self):
+        assert parallel_map(divmod, [(9, 4), (7, 2), (5, 3)], workers=2) == [
+            (2, 1),
+            (3, 1),
+            (1, 2),
+        ]
+
+
+class TestResultCache:
+    def test_warm_cache_executes_nothing(self, tmp_path):
+        """Second run of the same grid restores every row from disk."""
+        executed = []
+        executor = SweepExecutor(
+            workers=2, cache=tmp_path / "cache", run_hook=executed.append
+        )
+        first = executor.run(GRID)
+        assert len(executed) == 24
+        assert executor.stats.executed == 24
+        assert executor.stats.from_cache == 0
+
+        warm = SweepExecutor(
+            workers=2, cache=tmp_path / "cache", run_hook=executed.append
+        )
+        second = warm.run(GRID)
+        assert len(executed) == 24  # no new runs
+        assert warm.stats.executed == 0
+        assert warm.stats.from_cache == 24
+        assert all(r.cached for r in second)
+        assert [r.to_dict() for r in first] == [r.to_dict() for r in second]
+
+    def test_changed_seed_misses_only_new_configs(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        SweepExecutor(workers=1, cache=cache).run(GRID)
+
+        wider = SweepConfig(
+            algorithms=GRID.algorithms,
+            sizes=GRID.sizes,
+            attacks=GRID.attacks,
+            seeds=(0, 1, 2),
+        )
+        executor = SweepExecutor(workers=1, cache=cache)
+        records = executor.run(wider)
+        assert len(records) == 36
+        assert executor.stats.from_cache == 24
+        assert executor.stats.executed == 12
+        assert all(r.seed == 2 for r in records if not r.cached)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        task = RunTask(algorithm="alg1", n=4, t=1, attack="silent", seed=0)
+        cache.store(task, execute_task(task))
+        assert cache.load(task) is not None
+        cache._path(task).write_text("not json{")
+        assert cache.load(task) is None
+
+    def test_key_covers_every_knob(self):
+        cache = ResultCache.__new__(ResultCache)  # key() needs no root
+        base = RunTask(algorithm="alg1", n=4, t=1, attack="silent", seed=0)
+        variants = [
+            RunTask(algorithm="okun-crash", n=4, t=1, attack="silent", seed=0),
+            RunTask(algorithm="alg1", n=5, t=1, attack="silent", seed=0),
+            RunTask(algorithm="alg1", n=4, t=1, attack="crash", seed=0),
+            RunTask(algorithm="alg1", n=4, t=1, attack="silent", seed=1),
+            RunTask(
+                algorithm="alg1", n=4, t=1, attack="silent", seed=0,
+                workload="clustered",
+            ),
+            RunTask(
+                algorithm="alg1", n=4, t=1, attack="silent", seed=0,
+                collect_trace=True,
+            ),
+            RunTask(
+                algorithm="alg1", n=4, t=1, attack="silent", seed=0,
+                max_rounds=99,
+            ),
+        ]
+        keys = {cache.key(task) for task in [base] + variants}
+        assert len(keys) == len(variants) + 1
+
+
+class TestExperimentSummary:
+    def test_roundtrips_through_json_dict(self):
+        task = RunTask(
+            algorithm="alg1", n=4, t=1, attack="silent", seed=0,
+            collect_trace=True,
+        )
+        summary = execute_task(task)
+        clone = ExperimentSummary.from_dict(summary.to_dict())
+        assert clone.to_dict() == summary.to_dict()
+        assert clone.report.names == summary.report.names
+        assert clone.max_name == summary.max_name
+        assert clone.effective_rounds == summary.effective_rounds
+
+    def test_effective_rounds_prefers_settled_round(self):
+        untraced = execute_task(
+            RunTask(algorithm="floodset", n=5, t=1, attack="crash", seed=0)
+        )
+        assert untraced.settled_round is None
+        assert untraced.effective_rounds == untraced.rounds
+
+        # cht idles to a fixed horizon and logs when each process settles.
+        traced = execute_task(
+            RunTask(
+                algorithm="cht", n=5, t=1, attack="crash", seed=0,
+                collect_trace=True,
+            )
+        )
+        assert traced.settled_round is not None
+        assert traced.effective_rounds == traced.settled_round
+        assert traced.effective_rounds <= traced.rounds
+
+    def test_records_run_wall_clock(self):
+        summary = execute_task(
+            RunTask(algorithm="alg1", n=4, t=1, attack="silent", seed=0)
+        )
+        assert summary.elapsed_s > 0
+        assert not summary.cached

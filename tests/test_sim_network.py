@@ -90,3 +90,25 @@ class TestDeliver:
     def test_freeze_inbox_makes_tuples(self):
         frozen = SynchronousNetwork.freeze_inbox({1: [IdMessage(3)]})
         assert frozen == {1: (IdMessage(3),)}
+
+
+class TestRoute:
+    def test_route_returns_plan_and_transmissions(self):
+        network = make_network(4)
+        delivery = network.route(
+            {0: {BROADCAST: [IdMessage(5)]}, 1: {2: [IdMessage(6)]}}
+        )
+        assert delivery.plan == network.deliver(
+            {0: {BROADCAST: [IdMessage(5)]}, 1: {2: [IdMessage(6)]}}
+        )
+        # Broadcast over 4 links (incl. self-loop) + one unicast.
+        assert delivery.sent_count(0) == 4
+        assert delivery.sent_count(1) == 1
+        assert delivery.sent_count(3) == 0
+        assert [m for _, m in delivery.transmissions[0]] == [IdMessage(5)] * 4
+
+    def test_transmissions_match_expand_outbox(self):
+        network = make_network(5, seed=2)
+        outbox = {BROADCAST: [IdMessage(1)], 2: [IdMessage(9)]}
+        delivery = network.route({0: outbox})
+        assert delivery.transmissions[0] == network.expand_outbox(0, outbox)

@@ -98,6 +98,21 @@ class TestRunProtocol:
         with pytest.raises(TypeError):
             result.new_names()
 
+    def test_new_names_rejects_bools(self):
+        """bool passes isinstance(..., int); a protocol that buggily outputs
+        True must not be silently treated as name 1."""
+
+        class Affirmer(Process):
+            def send(self, round_no):
+                return {}
+
+            def deliver(self, round_no, inbox):
+                self.output_value = True
+
+        result = run_protocol(Affirmer, n=3, t=0, ids=[1, 2, 3], seed=0)
+        with pytest.raises(TypeError, match="not an int name"):
+            result.new_names()
+
     def test_duplicate_ids_rejected(self):
         with pytest.raises(ConfigurationError):
             run_protocol(EchoOnce, n=3, t=0, ids=[1, 1, 2], seed=0)
@@ -165,3 +180,24 @@ class TestRunProtocol:
         second = run_protocol(EchoOnce, n=5, t=1, ids=list(range(1, 6)), seed=3)
         assert first.outputs == second.outputs
         assert first.byzantine == second.byzantine
+
+    def test_each_outbox_expanded_exactly_once_per_round(self, monkeypatch):
+        """The runner must not re-expand outboxes for metrics accounting —
+        delivery and traffic counting share one expansion pass."""
+        from repro.sim.network import SynchronousNetwork
+
+        calls = []
+        original = SynchronousNetwork.expand_outbox
+
+        def counting(self, sender, outbox):
+            calls.append(sender)
+            return original(self, sender, outbox)
+
+        monkeypatch.setattr(SynchronousNetwork, "expand_outbox", counting)
+        result = run_protocol(EchoOnce, n=4, t=1, ids=[1, 2, 3, 4], seed=0)
+        # Every correct process is pending in every round; the null adversary
+        # sends nothing. One expansion per (correct sender, round), no more.
+        expected = result.metrics.round_count * len(result.correct)
+        assert len(calls) == expected
+        # And the metrics still see the full traffic despite single expansion.
+        assert result.metrics.correct_messages > 0
