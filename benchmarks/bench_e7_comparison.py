@@ -49,7 +49,7 @@ def test_e7_comparison(benchmark, publish):
             t,
             record.effective_rounds,
             record.correct_messages,
-            record.peak_message_bits,
+            record.correct_bits // record.rounds,
             record.max_name,
             "yes" if spec.order_preserving else "no",
             "OK" if record.report.ok_without_order() else "FAIL",
@@ -61,8 +61,15 @@ def test_e7_comparison(benchmark, publish):
         alg1 = by_key[("alg1", n, t)]
         consensus = by_key[("consensus", n, t)]
         translated = by_key[("translated", n, t)]
-        # Consensus messages blow up: peak EIG message dwarfs Alg. 1's.
-        assert consensus.peak_message_bits > alg1.peak_message_bits
+        # Consensus traffic blows up: the EIG tree it ships each round
+        # dwarfs Alg. 1's linear-size votes. Per-round totals, not peak
+        # single-message size — multiplexed EIG splits the combined relay
+        # into N per-source envelopes, so the exponential cost shows up in
+        # aggregate traffic rather than in any one frame.
+        assert (
+            consensus.correct_bits // consensus.rounds
+            > alg1.correct_bits // alg1.rounds
+        )
         # Translated pays more rounds than Alg. 1 and doubles the namespace.
         assert translated.effective_rounds > alg1.rounds
         if ("alg4", n, t) in by_key:
@@ -74,7 +81,7 @@ def test_e7_comparison(benchmark, publish):
         "    rounds for split baselines = decision latency (they idle to a "
         "fixed horizon)",
         format_table(
-            ["algorithm", "n", "t", "rounds", "messages", "peak msg bits",
+            ["algorithm", "n", "t", "rounds", "messages", "bits/round",
              "max name", "order-preserving", "props"],
             rows,
         ),

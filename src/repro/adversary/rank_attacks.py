@@ -26,7 +26,6 @@ from typing import Dict, List, Mapping
 
 from ..core.id_selection import ID_SELECTION_STEPS
 from ..core.messages import Rank, RanksMessage
-from ..core.renaming import OrderPreservingRenaming
 from ..sim.messages import Message
 from ..sim.process import Outbox
 from .base import ProtocolDrivenAdversary, per_link_outbox
@@ -58,7 +57,11 @@ class _VotingPhaseAdversary(ProtocolDrivenAdversary):
         if round_no <= ID_SELECTION_STEPS:
             return genuine
         process = self.instance(index)
-        if not isinstance(process, OrderPreservingRenaming) or not process.ranks:
+        # Duck-typed: anything exposing ranks/delta/params quacks like
+        # Alg. 1 (incl. the frozen pre-refactor reference copies the
+        # differential tests run) — forging only needs those attributes.
+        ranks = getattr(process, "ranks", None)
+        if not ranks or not hasattr(process, "delta"):
             return genuine
         content: Dict[int, List[Message]] = {}
         for position, peer in enumerate(range(self.ctx.n)):
@@ -72,7 +75,7 @@ class _VotingPhaseAdversary(ProtocolDrivenAdversary):
         index: int,
         position: int,
         peer: int,
-        process: OrderPreservingRenaming,
+        process,
     ) -> Dict[int, Rank]:
         raise NotImplementedError
 

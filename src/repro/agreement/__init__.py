@@ -3,20 +3,24 @@
 * :class:`ApproximateAgreement` — synchronous Byzantine AA (DLPSW [7]), the
   primitive under Alg. 1's voting phase.
 * :class:`EIGInteractiveConsistency` — ``t+1``-round interactive consistency
-  (identified model), the engine of the consensus-renaming baseline.
+  (identified model).
+* :class:`EIGBroadcast` — single-source EIG subtree; N of them behind a
+  :class:`~repro.sim.compose.Multiplexer` form the consensus-renaming
+  baseline.
 * :class:`PhaseKingConsensus` — polynomial-message consensus (``N > 4t``).
 * :func:`make_identified_factory` — bridge for the identified-model
   protocols.
 """
 
 from .approximate import ApproximateAgreement, ValueMessage, initial_values_factory
-from .eig import DEFAULT_VALUE, EIGInteractiveConsistency, RelayMessage
+from .eig import DEFAULT_VALUE, EIGBroadcast, EIGInteractiveConsistency, RelayMessage
 from .identity import make_identified_factory
 from .phase_king import KingMessage, PhaseKingConsensus, PhaseValueMessage
 
 __all__ = [
     "ApproximateAgreement",
     "DEFAULT_VALUE",
+    "EIGBroadcast",
     "EIGInteractiveConsistency",
     "KingMessage",
     "PhaseKingConsensus",

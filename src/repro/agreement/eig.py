@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..sim.messages import KIND_BITS, Message
-from ..sim.process import Inbox, Outbox, Process, ProcessContext
+from ..sim.process import Inbox, Outbox, Process, ProcessContext, ordered_links
 
 #: Value used when a relay is missing or no majority exists.
 DEFAULT_VALUE = 0
@@ -80,7 +80,7 @@ class EIGInteractiveConsistency(Process):
 
     def deliver(self, round_no: int, inbox: Inbox) -> None:
         level = round_no - 1
-        for link in sorted(inbox):
+        for link in ordered_links(inbox):
             sender = self.link_to_index.get(link)
             if sender is None:
                 continue
@@ -144,3 +144,105 @@ class EIGInteractiveConsistency(Process):
             else:
                 vector.append(self._resolve((j,)))
         return tuple(vector)
+
+
+class EIGBroadcast(Process):
+    """Single-source EIG Byzantine broadcast (one subtree of the above).
+
+    The combined interactive-consistency tree is the disjoint union of ``N``
+    per-source subtrees, so interactive consistency decomposes into ``N``
+    independent broadcast instances — one per source — each relaying only
+    paths rooted at its source. Run all ``N`` behind a
+    :class:`~repro.sim.compose.Multiplexer` and the per-process state and
+    resolution are identical to :class:`EIGInteractiveConsistency`; only the
+    wire shape changes (per-instance envelopes instead of one combined
+    relay).
+
+    Output: the agreed value for ``source`` (:data:`DEFAULT_VALUE` when the
+    source is faulty-silent or no majority exists). The source itself
+    outputs its own input, mirroring the combined resolver's
+    ``vector[my_index] = value``.
+    """
+
+    def __init__(
+        self,
+        ctx: ProcessContext,
+        source: int,
+        my_index: int,
+        link_to_index: Dict[int, int],
+        value: Optional[int] = None,
+    ) -> None:
+        super().__init__(ctx)
+        if ctx.n <= 3 * ctx.t:
+            raise ValueError(f"EIG requires N > 3t (n={ctx.n}, t={ctx.t})")
+        if not 0 <= source < ctx.n:
+            raise ValueError(f"source {source} out of range for n={ctx.n}")
+        if (value is not None) != (my_index == source):
+            raise ValueError("exactly the source process carries the input value")
+        self.source = source
+        self.my_index = my_index
+        self.link_to_index = dict(link_to_index)
+        self.value = int(value) if value is not None else None
+        self.rounds = ctx.t + 1
+        # Same layout as the combined tree, restricted to the source's
+        # subtree; the root () exists only at the source (its own claim).
+        self.tree: Dict[Path, int] = {} if value is None else {(): self.value}
+
+    # ------------------------------------------------------------------ rounds
+
+    def send(self, round_no: int) -> Outbox:
+        level = round_no - 1
+        entries = tuple(
+            sorted(
+                (path, value)
+                for path, value in self.tree.items()
+                if len(path) == level
+            )
+        )
+        if not entries:
+            # Non-source processes are silent in round 1; later rounds go
+            # quiet once there is nothing to relay about this source.
+            return {}
+        return self.broadcast(RelayMessage(entries=entries))
+
+    def deliver(self, round_no: int, inbox: Inbox) -> None:
+        level = round_no - 1
+        for link in ordered_links(inbox):
+            sender = self.link_to_index.get(link)
+            if sender is None:
+                continue
+            message = self._first_relay(inbox[link])
+            if message is None:
+                continue
+            for path, value in message.entries:
+                if self._acceptable(path, level, sender) and isinstance(
+                    value, int
+                ):
+                    self.tree[path + (sender,)] = value
+        if round_no == self.rounds:
+            self.output_value = self._resolve_value()
+
+    _first_relay = staticmethod(EIGInteractiveConsistency._first_relay)
+
+    def _acceptable(self, path, level: int, sender: int) -> bool:
+        """The combined tree's well-formedness plus instance scoping: a
+        level-0 claim must come from the source itself, and every deeper
+        path must be rooted at the source."""
+        if not isinstance(path, tuple) or len(path) != level:
+            return False
+        if any(not isinstance(j, int) or not 0 <= j < self.ctx.n for j in path):
+            return False
+        if len(set(path)) != len(path) or sender in path:
+            return False
+        if level == 0:
+            return sender == self.source
+        return path[0] == self.source
+
+    # ----------------------------------------------------------------- resolve
+
+    _resolve = EIGInteractiveConsistency._resolve
+
+    def _resolve_value(self) -> int:
+        if self.my_index == self.source:
+            return self.value
+        return self._resolve((self.source,))

@@ -4,27 +4,37 @@
 same set of identifiers and, in this way, solve renaming, but these
 approaches have step complexity linear in the number of faults" — Section I.
 
-This baseline does exactly that: run EIG interactive consistency on every
-process's announced id (``t + 1`` rounds, identified model — see
-:mod:`repro.agreement.identity` for why that is a *stronger* model than the
-one Alg. 1 solves), then rank the own id inside the agreed vector. The
-outcome is impeccable — strong namespace ``N``, order preserving, exact —
-and the cost is the point: rounds grow linearly in ``t`` and message size
-exponentially, versus Alg. 1's ``3⌈log₂ t⌉ + 7`` rounds of linear-size
-messages. Experiment E7 prices the two side by side.
+This baseline does exactly that: agree on every process's announced id
+(``t + 1`` rounds, identified model — see :mod:`repro.agreement.identity`
+for why that is a *stronger* model than the one Alg. 1 solves), then rank
+the own id inside the agreed vector. The outcome is impeccable — strong
+namespace ``N``, order preserving, exact — and the cost is the point:
+rounds grow linearly in ``t`` and per-round traffic exponentially, versus
+Alg. 1's ``3⌈log₂ t⌉ + 7`` rounds of linear-size messages. Experiment E7
+prices the two side by side.
+
+Structurally the baseline is a :class:`~repro.sim.compose.Multiplexer`
+over ``N`` single-source :class:`~repro.agreement.eig.EIGBroadcast`
+instances — interactive consistency *is* N Byzantine broadcasts, and the
+composition layer makes that decomposition literal (replacing the previous
+subclass-override arrangement on the combined-tree EIG). Traffic travels
+as per-instance :class:`~repro.sim.compose.EnvelopeMessage` frames; the
+per-process trees, resolution, and outputs are identical to the combined
+:class:`~repro.agreement.eig.EIGInteractiveConsistency`.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Sequence
 
-from ..agreement.eig import EIGInteractiveConsistency
+from ..agreement.eig import EIGBroadcast
 from ..agreement.identity import make_identified_factory
-from ..sim.process import Inbox, ProcessContext
+from ..sim.compose import Multiplexer
+from ..sim.process import ProcessContext
 
 
-class ConsensusRenaming(EIGInteractiveConsistency):
-    """EIG on announced ids; name = rank of the own id in the agreed vector.
+class ConsensusRenaming(Multiplexer):
+    """N EIG broadcasts on announced ids; name = rank in the agreed vector.
 
     Byzantine slots can contribute one agreed-upon value each (possibly a
     duplicate or garbage); duplicates collapse in the set, garbage occupies
@@ -34,15 +44,25 @@ class ConsensusRenaming(EIGInteractiveConsistency):
     def __init__(
         self, ctx: ProcessContext, my_index: int, link_to_index: Dict[int, int]
     ) -> None:
-        super().__init__(ctx, my_index, link_to_index, value=ctx.my_id)
+        self.my_index = my_index
+        self.rounds = ctx.t + 1
+        instances = {
+            source: EIGBroadcast(
+                ctx,
+                source,
+                my_index,
+                link_to_index,
+                value=ctx.my_id if source == my_index else None,
+            )
+            for source in range(ctx.n)
+        }
+        super().__init__(ctx, instances, finish=self._rank_in_vector)
 
-    def deliver(self, round_no: int, inbox: Inbox) -> None:
-        super().deliver(round_no, inbox)
-        if round_no == self.rounds:
-            vector = self.output_value
-            agreed = sorted({value for value in vector if value > 0})
-            self.ctx.log(round_no, "agreed_ids", tuple(agreed))
-            self.output_value = agreed.index(self.ctx.my_id) + 1
+    def _rank_in_vector(self, outputs: Dict[int, object]) -> int:
+        vector = tuple(outputs[source] for source in range(self.ctx.n))
+        agreed = sorted({value for value in vector if value > 0})
+        self.ctx.log(self.rounds, "agreed_ids", tuple(agreed))
+        return agreed.index(self.ctx.my_id) + 1
 
 
 def consensus_renaming_factory(n: int, ids: Sequence[int], seed: int):

@@ -24,94 +24,142 @@ echo overhead. Runs are meaningful under omission-style adversaries
 active equivocation during the split phase, which this envelope does not
 re-implement — benchmarks E7 compare all algorithms under the same
 omission adversaries, which is conservative *in favour of* this baseline.
+
+Composition-wise the baseline is
+``PhaseSequence(IdSelectionPhase, IntervalSplitPhase)`` — it reuses the
+*same* :class:`~repro.core.id_selection.IdSelectionPhase` object Alg. 1
+runs, instead of a private re-implementation.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import FrozenSet, List, Optional
 
-from ..core.id_selection import ID_SELECTION_STEPS, IdSelectionPhase
-from ..sim.process import Inbox, Outbox, Process, ProcessContext
+from ..core.id_selection import (
+    ID_SELECTION_STEPS,
+    IdSelectionPhase,
+    IdSelectionResult,
+)
+from ..sim.compose import Phase, PhaseContext, PhaseSequence
+from ..sim.messages import Message
+from ..sim.process import Inbox, ProcessContext, ordered_links
 from .splitting import ClaimMessage, IntervalSplitter, interval_rounds
 
 
-class TranslatedByzantineRenaming(Process):
+class IntervalSplitPhase(Phase):
+    """Echo-weighted bit split over ``[1..namespace]`` among accepted ids.
+
+    Each split level costs two steps (claim + echo); claims from links
+    whose id is outside the preceding phase's accepted set are ignored.
+    Runs to a fixed ``steps`` horizon (synchronous algorithms cannot
+    early-terminate without agreement on when).
+    """
+
+    def __init__(
+        self,
+        ctx: PhaseContext,
+        accepted: FrozenSet[int],
+        *,
+        namespace: int,
+        steps: int,
+    ) -> None:
+        self.steps = steps
+        self._ctx = ctx
+        self.accepted = accepted
+        self.splitter = IntervalSplitter(ctx.my_id, namespace)
+        #: Global round at which this process's name became uncontested.
+        self.settled_round: Optional[int] = None
+        self._name: Optional[int] = None
+
+    # ------------------------------------------------------------------ rounds
+
+    def messages_for_step(self, step: int) -> List[Message]:
+        lo, hi = self.splitter.claim()
+        return [ClaimMessage(self._ctx.my_id, lo, hi)]
+
+    def deliver_step(self, step: int, inbox: Inbox) -> None:
+        # Echo round of each level: claims are re-broadcast; resolving on
+        # every even step (claim + echo pairs) keeps the engine simple and
+        # charges the translation's 2x round cost.
+        rivals = self._rival_ids(inbox)
+        already = self.splitter.decided
+        if step % 2 == 0:
+            self.splitter.resolve(rivals)
+        if self.splitter.decided is not None and already is None:
+            self.settled_round = self._ctx.global_round(step)
+            self._ctx.log(step, "settled", self.splitter.decided)
+        if step == self.steps:
+            self._finish(step)
+
+    # ------------------------------------------------------------- phase logic
+
+    def _rival_ids(self, inbox: Inbox):
+        lo, hi = self.splitter.claim()
+        rivals = []
+        for link in ordered_links(inbox):
+            for message in inbox[link]:
+                if (
+                    isinstance(message, ClaimMessage)
+                    and message.lo == lo
+                    and message.hi == hi
+                    and message.id in self.accepted
+                ):
+                    rivals.append(message.id)
+                    break
+        return rivals
+
+    def _finish(self, step: int) -> None:
+        if self.splitter.decided is not None:
+            self._name = self.splitter.decided
+            return
+        lo, _ = self.splitter.claim()
+        self._name = lo
+        self._ctx.log(step, "settled", lo)
+
+    def result(self) -> int:
+        return self._name
+
+
+class TranslatedByzantineRenaming(PhaseSequence):
     """Id selection (4 rounds) + echo-weighted bit split over ``[1..2N]``."""
 
     def __init__(self, ctx: ProcessContext, extra_rounds: Optional[int] = None) -> None:
-        super().__init__(ctx)
         if ctx.n <= 3 * ctx.t:
             raise ValueError(
                 f"translated renaming requires N > 3t (n={ctx.n}, t={ctx.t})"
             )
         self.namespace = 2 * ctx.n
         self.selection = IdSelectionPhase(ctx.n, ctx.t, ctx.my_id)
-        self.splitter: Optional[IntervalSplitter] = None
         probe_budget = ctx.n if extra_rounds is None else extra_rounds
         # Two rounds per split level: the claim round plus the translation's
         # echo round (modelled as a repeat of the claim).
         self.horizon = (
             ID_SELECTION_STEPS + 2 * interval_rounds(self.namespace) + probe_budget
         )
-        self._settled_round: Optional[int] = None
+        self._split: Optional[IntervalSplitPhase] = None
+        super().__init__(ctx, [self._selection_phase, self._split_phase])
 
-    # ------------------------------------------------------------------ rounds
+    def _selection_phase(self, ctx: PhaseContext, _: object) -> IdSelectionPhase:
+        return self.selection
 
-    def send(self, round_no: int) -> Outbox:
-        if round_no <= ID_SELECTION_STEPS:
-            return self.broadcast(*self.selection.messages_for_step(round_no))
-        assert self.splitter is not None
-        lo, hi = self.splitter.claim()
-        return self.broadcast(ClaimMessage(self.ctx.my_id, lo, hi))
+    def _split_phase(self, ctx: PhaseContext, outcome: object) -> IntervalSplitPhase:
+        assert isinstance(outcome, IdSelectionResult)
+        self._split = IntervalSplitPhase(
+            ctx,
+            outcome.accepted,
+            namespace=self.namespace,
+            steps=self.horizon - ID_SELECTION_STEPS,
+        )
+        return self._split
 
-    def deliver(self, round_no: int, inbox: Inbox) -> None:
-        if round_no <= ID_SELECTION_STEPS:
-            self.selection.deliver_step(round_no, inbox)
-            if round_no == ID_SELECTION_STEPS:
-                self.splitter = IntervalSplitter(self.ctx.my_id, self.namespace)
-            return
-        assert self.splitter is not None
-        # Echo round of each level: claims are re-broadcast; resolving on
-        # every round (claim and echo alike) keeps the engine simple and
-        # charges the translation's 2x round cost.
-        split_round = round_no - ID_SELECTION_STEPS
-        rivals = self._rival_ids(inbox)
-        already = self.splitter.decided
-        if split_round % 2 == 0:
-            self.splitter.resolve(rivals)
-        if self.splitter.decided is not None and already is None:
-            self._settled_round = round_no
-            self.ctx.log(round_no, "settled", self.splitter.decided)
-        if round_no == self.horizon:
-            self._finish(round_no)
+    # ------------------------------------------------- pre-refactor attributes
 
-    def _rival_ids(self, inbox: Inbox):
-        assert self.splitter is not None
-        lo, hi = self.splitter.claim()
-        accepted = self.selection.accepted
-        rivals = []
-        for link in sorted(inbox):
-            for message in inbox[link]:
-                if (
-                    isinstance(message, ClaimMessage)
-                    and message.lo == lo
-                    and message.hi == hi
-                    and message.id in accepted
-                ):
-                    rivals.append(message.id)
-                    break
-        return rivals
-
-    def _finish(self, round_no: int) -> None:
-        assert self.splitter is not None
-        if self.splitter.decided is not None:
-            self.output_value = self.splitter.decided
-            return
-        lo, _ = self.splitter.claim()
-        self.output_value = lo
-        self.ctx.log(round_no, "settled", lo)
+    @property
+    def splitter(self) -> Optional[IntervalSplitter]:
+        """The bit-split engine (None until id selection completes)."""
+        return self._split.splitter if self._split is not None else None
 
     @property
     def settled_round(self) -> Optional[int]:
         """Round at which this process's name became uncontested."""
-        return self._settled_round
+        return self._split.settled_round if self._split is not None else None

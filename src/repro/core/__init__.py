@@ -19,8 +19,8 @@ from .approximation import (
     trim_extremes,
 )
 from .constant import ConstantTimeRenaming
-from .fast import TWO_STEP_ROUNDS, TwoStepOptions, TwoStepRenaming
-from .id_selection import ID_SELECTION_STEPS, IdSelectionPhase
+from .fast import TWO_STEP_ROUNDS, TwoStepOptions, TwoStepPhase, TwoStepRenaming
+from .id_selection import ID_SELECTION_STEPS, IdSelectionPhase, IdSelectionResult
 from .messages import (
     EchoMessage,
     IdMessage,
@@ -35,6 +35,7 @@ from .renaming import (
     STABILITY_ROUNDS,
     OrderPreservingRenaming,
     RenamingOptions,
+    VotingPhase,
 )
 from .validation import is_sound_id, is_sound_rank, is_sound_vote, is_valid_ranks
 
@@ -45,6 +46,7 @@ __all__ = [
     "ID_SELECTION_STEPS",
     "IdMessage",
     "IdSelectionPhase",
+    "IdSelectionResult",
     "MultiEchoMessage",
     "OrderPreservingRenaming",
     "Rank",
@@ -55,7 +57,9 @@ __all__ = [
     "SystemParams",
     "TWO_STEP_ROUNDS",
     "TwoStepOptions",
+    "TwoStepPhase",
     "TwoStepRenaming",
+    "VotingPhase",
     "approximate",
     "average",
     "is_sound_id",

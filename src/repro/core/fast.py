@@ -18,6 +18,11 @@ disagreement left is the ``≤ 2t²`` echoes Byzantine processes can steer
 (Lemma VI.1), which the ``N − t`` inter-name gap (Lemma VI.2) absorbs when
 ``N > 2t² + t`` (Theorem VI.3). Namespace ``[1..N²]``.
 
+The whole algorithm is one :class:`TwoStepPhase`;
+:class:`TwoStepRenaming` is the single-phase
+:class:`~repro.sim.compose.PhaseSequence` running it (so the 2-step
+namer slots into larger pipelines unchanged).
+
 ``clamp_offsets=False`` is ablation E9b: without the clamp the adversary's
 selective echoing inflates Δ linearly in ``N`` and order preservation breaks.
 """
@@ -25,10 +30,11 @@ selective echoing inflates Δ linearly in ``N`` and order preservation breaks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, List, Optional
 
-from ..sim.process import Inbox, Outbox, Process, ProcessContext
-from .messages import IdMessage, MultiEchoMessage
+from ..sim.compose import Phase, PhaseContext, PhaseSequence
+from ..sim.process import Inbox, ProcessContext, ordered_links
+from .messages import IdMessage, Message, MultiEchoMessage
 from .params import SystemParams
 from .validation import is_sound_id
 
@@ -44,29 +50,31 @@ class TwoStepOptions:
     enforce_resilience: bool = True
 
 
-class TwoStepRenaming(Process):
-    """A correct process running Algorithm 4."""
+class TwoStepPhase(Phase):
+    """Announce-echo-count (Alg. 4 lines 01–23) as a 2-step phase."""
 
-    def __init__(self, ctx: ProcessContext, options: TwoStepOptions = TwoStepOptions()) -> None:
-        super().__init__(ctx)
+    steps = TWO_STEP_ROUNDS
+
+    def __init__(
+        self, ctx: PhaseContext, options: TwoStepOptions = TwoStepOptions()
+    ) -> None:
+        self._ctx = ctx
         self.options = options
-        self.params = SystemParams(ctx.n, ctx.t)
-        if options.enforce_resilience:
-            self.params.require_fast_regime()
         self.link_id: Dict[int, int] = {}  # link -> id announced on it (line 02/09)
         self.timely: set = set()
         self.counter: Dict[int, int] = {}
         self.new_names: Dict[int, int] = {}
+        self._name: Optional[int] = None
 
     # ------------------------------------------------------------------ rounds
 
-    def send(self, round_no: int) -> Outbox:
-        if round_no == 1:
-            return self.broadcast(IdMessage(self.ctx.my_id))
-        return self.broadcast(MultiEchoMessage.from_ids(self.timely))
+    def messages_for_step(self, step: int) -> List[Message]:
+        if step == 1:
+            return [IdMessage(self._ctx.my_id)]
+        return [MultiEchoMessage.from_ids(self.timely)]
 
-    def deliver(self, round_no: int, inbox: Inbox) -> None:
-        if round_no == 1:
+    def deliver_step(self, step: int, inbox: Inbox) -> None:
+        if step == 1:
             self._deliver_announcements(inbox)
         else:
             self._deliver_echoes(inbox)
@@ -76,7 +84,7 @@ class TwoStepRenaming(Process):
 
     def _deliver_announcements(self, inbox: Inbox) -> None:
         """Round 1, lines 08–10: one id per link; extras on a link ignored."""
-        for link in sorted(inbox):
+        for link in ordered_links(inbox):
             for message in inbox[link]:
                 if isinstance(message, IdMessage) and is_sound_id(message.id):
                     self.link_id[link] = message.id
@@ -85,13 +93,13 @@ class TwoStepRenaming(Process):
 
     def _deliver_echoes(self, inbox: Inbox) -> None:
         """Round 2, lines 13–17: count echoes from valid MultiEchoes."""
-        for link in sorted(inbox):
+        for link in ordered_links(inbox):
             echo = self._first_multiecho(inbox[link])
             if echo is None or not self._is_valid(link, echo.ids):
                 continue
             for identifier in set(echo.ids):
                 self.counter[identifier] = self.counter.get(identifier, 0) + 1
-        self.ctx.log(TWO_STEP_ROUNDS, "counters", dict(self.counter))
+        self._ctx.log(TWO_STEP_ROUNDS, "counters", dict(self.counter))
 
     @staticmethod
     def _first_multiecho(messages) -> Optional[MultiEchoMessage]:
@@ -109,14 +117,14 @@ class TwoStepRenaming(Process):
         id_set = set(ids)
         return (
             link in self.link_id
-            and len(id_set) <= self.ctx.n
+            and len(id_set) <= self._ctx.n
             and all(is_sound_id(identifier) for identifier in id_set)
-            and len(self.timely & id_set) >= self.ctx.n - self.ctx.t
+            and len(self.timely & id_set) >= self._ctx.n - self._ctx.t
         )
 
     def _choose_names(self) -> None:
         """Lines 18–23: accumulate clamped offsets over the sorted accepted ids."""
-        cap = self.ctx.n - self.ctx.t
+        cap = self._ctx.n - self._ctx.t
         accumulated = 0
         for identifier in sorted(self.counter):
             offset = self.counter[identifier]
@@ -124,10 +132,53 @@ class TwoStepRenaming(Process):
                 offset = min(offset, cap)
             accumulated += offset
             self.new_names[identifier] = accumulated
-        if self.ctx.my_id not in self.new_names:
+        if self._ctx.my_id not in self.new_names:
             raise RuntimeError(
-                f"own id {self.ctx.my_id} received no echoes — impossible for "
+                f"own id {self._ctx.my_id} received no echoes — impossible for "
                 f"a correct process when N > 2t² + t"
             )
-        self.output_value = self.new_names[self.ctx.my_id]
-        self.ctx.log(TWO_STEP_ROUNDS, "decided", self.output_value)
+        self._name = self.new_names[self._ctx.my_id]
+        self._ctx.log(TWO_STEP_ROUNDS, "decided", self._name)
+
+    def result(self) -> int:
+        return self._name
+
+
+class TwoStepRenaming(PhaseSequence):
+    """A correct process running Algorithm 4 (a one-phase sequence).
+
+    Pre-refactor attributes (``.link_id``, ``.timely``, ``.counter``,
+    ``.new_names``) delegate to the phase so analytics and tests introspect
+    the process unchanged.
+    """
+
+    def __init__(
+        self, ctx: ProcessContext, options: TwoStepOptions = TwoStepOptions()
+    ) -> None:
+        self.options = options
+        self.params = SystemParams(ctx.n, ctx.t)
+        if options.enforce_resilience:
+            self.params.require_fast_regime()
+        super().__init__(ctx, [self._two_step_phase])
+
+    def _two_step_phase(self, ctx: PhaseContext, _: object) -> TwoStepPhase:
+        self._phase = TwoStepPhase(ctx, self.options)
+        return self._phase
+
+    # ------------------------------------------------- pre-refactor attributes
+
+    @property
+    def link_id(self) -> Dict[int, int]:
+        return self._phase.link_id
+
+    @property
+    def timely(self) -> set:
+        return self._phase.timely
+
+    @property
+    def counter(self) -> Dict[int, int]:
+        return self._phase.counter
+
+    @property
+    def new_names(self) -> Dict[int, int]:
+        return self._phase.new_names

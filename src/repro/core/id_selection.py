@@ -10,17 +10,20 @@ correct process ``p`` (Lemmas IV.1–IV.3):
 * ``accepted_p ⊇ ⋃_{q correct} timely_q``;
 * ``|accepted_p| ≤ N + ⌊t²/(N−2t)⌋``  (``≤ N + t − 1`` when ``N > 3t``).
 
-The class is written *sans I/O*: :meth:`messages_for_step` says what to
-broadcast and :meth:`deliver_step` consumes an inbox, so the same logic is
-reusable by Alg. 1, by the translated-Byzantine baseline, and by unit tests
-that drive it with hand-crafted message patterns.
+The class is a :class:`~repro.sim.compose.Phase`: :meth:`messages_for_step`
+says what to broadcast and :meth:`deliver_step` consumes an inbox, so the
+same object composes into Alg. 1's :class:`~repro.sim.compose.PhaseSequence`,
+into the translated-Byzantine baseline's, and into unit tests that drive it
+with hand-crafted message patterns.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Set, Tuple
 
-from ..sim.process import Inbox, iter_inbox
+from ..sim.compose import Phase
+from ..sim.process import Inbox, iter_inbox, ordered_links
 from .messages import EchoMessage, IdMessage, Message, ReadyMessage
 from .validation import is_sound_id
 
@@ -28,13 +31,30 @@ from .validation import is_sound_id
 ID_SELECTION_STEPS = 4
 
 
-class IdSelectionPhase:
+@dataclass(frozen=True)
+class IdSelectionResult:
+    """Completion result of the id-selection phase (Lemmas IV.1–IV.3).
+
+    ``ordered`` is ``accepted`` sorted ascending (line 26's ``sort``) — the
+    basis for initial ranks in Alg. 1 and for the namespace split in the
+    translated baseline.
+    """
+
+    timely: FrozenSet[int]
+    accepted: FrozenSet[int]
+    ordered: Tuple[int, ...]
+
+
+class IdSelectionPhase(Phase):
     """State machine for Steps 1–4 of Algorithm 1.
 
     Drive it with ``messages_for_step(s)`` / ``deliver_step(s, inbox)`` for
-    ``s = 1..4``; afterwards read :attr:`timely`, :attr:`accepted` and
-    :meth:`sorted_accepted`.
+    ``s = 1..4``; afterwards read :attr:`timely`, :attr:`accepted`,
+    :meth:`sorted_accepted` — or :meth:`result` for the packaged
+    :class:`IdSelectionResult` when composing.
     """
+
+    steps = ID_SELECTION_STEPS
 
     def __init__(self, n: int, t: int, my_id: int) -> None:
         self.n = n
@@ -89,7 +109,7 @@ class IdSelectionPhase:
         # A faulty link may announce several ids; only its first announcement
         # counts as *its* id here (one id per link), which is the strongest
         # reading — extra announcements on the same link are ignored.
-        for link in sorted(inbox):
+        for link in ordered_links(inbox):
             for message in inbox[link]:
                 if isinstance(message, IdMessage) and is_sound_id(message.id):
                     self._pending.add(message.id)
@@ -141,6 +161,14 @@ class IdSelectionPhase:
     def sorted_accepted(self) -> Tuple[int, ...]:
         """The accepted ids in ascending order (line 26's ``sort``)."""
         return tuple(sorted(self.accepted))
+
+    def result(self) -> IdSelectionResult:
+        """Package the phase outcome for the next phase in a sequence."""
+        return IdSelectionResult(
+            timely=self.timely,
+            accepted=self.accepted,
+            ordered=self.sorted_accepted(),
+        )
 
     def rank_of(self, identifier: int) -> int:
         """1-based position of ``identifier`` in the sorted accepted set."""

@@ -1,15 +1,17 @@
 """Algorithm 1 — order-preserving Byzantine renaming for ``N > 3t``.
 
-The paper's main contribution. Two phases:
+The paper's main contribution, expressed as a
+:class:`~repro.sim.compose.PhaseSequence` of its two phases:
 
-1. **Id selection** (rounds 1–4, :mod:`repro.core.id_selection`): bound the
-   identifiers Byzantine processes can inject and compute initial ranks —
-   each accepted id's 1-based position in the sorted accepted set, stretched
-   by ``δ = 1 + 1/(3(N+t))``.
-2. **Rank approximation** (rounds 5 to ``3⌈log₂ t⌉ + 7``): coordinated
-   Byzantine approximate agreement on the ranks. Incoming votes are filtered
-   by ``isValid`` (:mod:`repro.core.validation`) so the agreement can only
-   converge order-consistently, then folded by ``approximate``
+1. **Id selection** (rounds 1–4, :class:`~repro.core.id_selection.IdSelectionPhase`):
+   bound the identifiers Byzantine processes can inject and compute initial
+   ranks — each accepted id's 1-based position in the sorted accepted set,
+   stretched by ``δ = 1 + 1/(3(N+t))``.
+2. **Rank approximation** (rounds 5 to ``3⌈log₂ t⌉ + 7``,
+   :class:`VotingPhase`): coordinated Byzantine approximate agreement on the
+   ranks. Incoming votes are filtered by ``isValid``
+   (:mod:`repro.core.validation`) so the agreement can only converge
+   order-consistently, then folded by ``approximate``
    (:mod:`repro.core.approximation`).
 
 The final name is the nearest integer to the converged rank of the process's
@@ -27,10 +29,11 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, List, Mapping, Optional, Set
 
-from ..sim.process import Inbox, Outbox, Process, ProcessContext
+from ..sim.compose import Phase, PhaseContext, PhaseSequence
+from ..sim.process import Inbox, ProcessContext, ordered_links
 from .approximation import approximate, nearest_int
-from .id_selection import ID_SELECTION_STEPS, IdSelectionPhase
-from .messages import Rank, RanksMessage
+from .id_selection import ID_SELECTION_STEPS, IdSelectionPhase, IdSelectionResult
+from .messages import Message, Rank, RanksMessage
 from .params import SystemParams
 from .validation import is_sound_vote, is_valid_ranks
 
@@ -88,95 +91,92 @@ class RenamingOptions:
     early_deciding: bool = False
 
 
-class OrderPreservingRenaming(Process):
-    """A correct process running Algorithm 1."""
+class VotingPhase(Phase):
+    """Rank approximation (lines 26–37) as a reusable phase.
 
-    def __init__(self, ctx: ProcessContext, options: RenamingOptions = RenamingOptions()) -> None:
-        super().__init__(ctx)
+    Construction performs lines 26–28 (sort accepted, rank every id, stretch
+    by δ) from the preceding :class:`IdSelectionResult`; each step then
+    broadcasts the current ranks and folds valid incoming votes
+    (lines 30–35); the final step decides (lines 36–37). Trace events land
+    on global rounds via the :class:`~repro.sim.compose.PhaseContext`, so
+    the phase behaves identically at any offset in any pipeline.
+    """
+
+    def __init__(
+        self,
+        ctx: PhaseContext,
+        selection: IdSelectionResult,
+        *,
+        delta: Rank,
+        voting_rounds: int,
+        options: RenamingOptions = RenamingOptions(),
+        tolerance: float = 0.0,
+    ) -> None:
+        self.steps = voting_rounds
+        self._ctx = ctx
         self.options = options
-        self.params = SystemParams(ctx.n, ctx.t)
-        if options.enforce_resilience:
-            self.params.require_byzantine_resilience()
-        delta = self.params.delta if options.stretch else Fraction(1)
-        self.delta: Rank = delta if options.exact_arithmetic else float(delta)
-        self._tolerance = 0.0 if options.exact_arithmetic else FLOAT_TOLERANCE
-        voting = options.voting_rounds
-        self.voting_rounds = self.params.voting_rounds if voting is None else voting
-        if self.voting_rounds < 1:
-            raise ValueError(f"need at least one voting round, got {self.voting_rounds}")
-        self.total_rounds = ID_SELECTION_STEPS + self.voting_rounds
-        self.selection = IdSelectionPhase(ctx.n, ctx.t, ctx.my_id)
-        self.ranks: Dict[int, Rank] = {}
-        self.accepted: Set[int] = set()
+        self.delta = delta
+        self._tolerance = tolerance
+        self.timely = selection.timely
+        self.accepted: Set[int] = set(selection.accepted)
+        if ctx.my_id not in self.accepted:
+            # Impossible for a correct process when N > 3t (Lemma IV.2);
+            # reachable only under misconfiguration, so fail loudly.
+            raise RuntimeError(
+                f"correct id {ctx.my_id} missing from accepted set "
+                f"(n={ctx.n}, t={ctx.t})"
+            )
+        self.ranks: Dict[int, Rank] = {
+            identifier: position * self.delta
+            for position, identifier in enumerate(selection.ordered, start=1)
+        }
+        ctx.log(0, "timely", frozenset(selection.timely))
+        ctx.log(0, "accepted", selection.ordered)
+        ctx.log(0, "ranks", dict(self.ranks))
         self._stable_rounds = 0
-        #: Voting round at which the early-deciding extension froze the
+        #: Global round at which the early-deciding extension froze the
         #: ranks (None when it never triggered or is disabled).
         self.frozen_at: Optional[int] = None
+        self._name: Optional[int] = None
 
     # ------------------------------------------------------------------ rounds
 
-    def send(self, round_no: int) -> Outbox:
-        if round_no <= ID_SELECTION_STEPS:
-            return self.broadcast(*self.selection.messages_for_step(round_no))
-        return self.broadcast(RanksMessage.from_dict(self.ranks))
+    def messages_for_step(self, step: int) -> List[Message]:
+        return [RanksMessage.from_dict(self.ranks)]
 
-    def deliver(self, round_no: int, inbox: Inbox) -> None:
-        if round_no <= ID_SELECTION_STEPS:
-            self.selection.deliver_step(round_no, inbox)
-            if round_no == ID_SELECTION_STEPS:
-                self._initialise_ranks()
-            return
-        self._voting_step(round_no, inbox)
-        if round_no == self.total_rounds:
+    def deliver_step(self, step: int, inbox: Inbox) -> None:
+        self._voting_step(step, inbox)
+        if step == self.steps:
             self._decide()
 
     # ------------------------------------------------------------- phase logic
 
-    def _initialise_ranks(self) -> None:
-        """Line 26–28: sort accepted, rank every id, stretch by δ."""
-        self.accepted = set(self.selection.accepted)
-        if self.ctx.my_id not in self.accepted:
-            # Impossible for a correct process when N > 3t (Lemma IV.2);
-            # reachable only under misconfiguration, so fail loudly.
-            raise RuntimeError(
-                f"correct id {self.ctx.my_id} missing from accepted set "
-                f"(n={self.ctx.n}, t={self.ctx.t})"
-            )
-        ordered = self.selection.sorted_accepted()
-        self.ranks = {
-            identifier: position * self.delta
-            for position, identifier in enumerate(ordered, start=1)
-        }
-        self.ctx.log(ID_SELECTION_STEPS, "timely", frozenset(self.selection.timely))
-        self.ctx.log(ID_SELECTION_STEPS, "accepted", ordered)
-        self.ctx.log(ID_SELECTION_STEPS, "ranks", dict(self.ranks))
-
-    def _voting_step(self, round_no: int, inbox: Inbox) -> None:
+    def _voting_step(self, step: int, inbox: Inbox) -> None:
         """Lines 30–35: collect votes, filter with isValid, approximate."""
         votes: List[Mapping[int, Rank]] = []
-        for link in sorted(inbox):
+        for link in ordered_links(inbox):
             vote = self._first_vote(inbox[link])
             if vote is None:
                 continue
             if not self.options.validate_votes or is_valid_ranks(
-                self.selection.timely, vote, self.delta, self._tolerance
+                self.timely, vote, self.delta, self._tolerance
             ):
                 votes.append(vote)
         if self.frozen_at is not None:
             return  # frozen: keep broadcasting, stop approximating
         if self.options.early_deciding:
-            self._track_stability(round_no, votes)
+            self._track_stability(step, votes)
             if self.frozen_at is not None:
                 return
         self.ranks, self.accepted = approximate(
-            self.ranks, self.accepted, votes, self.ctx.n, self.ctx.t
+            self.ranks, self.accepted, votes, self._ctx.n, self._ctx.t
         )
-        self.ctx.log(round_no, "ranks", dict(self.ranks))
+        self._ctx.log(step, "ranks", dict(self.ranks))
 
-    def _track_stability(self, round_no: int, votes: List[Mapping[int, Rank]]) -> None:
+    def _track_stability(self, step: int, votes: List[Mapping[int, Rank]]) -> None:
         """Early-deciding extension: freeze on STABILITY_ROUNDS unanimous
         rounds (see RenamingOptions.early_deciding for the safety argument)."""
-        unanimous = len(votes) >= self.ctx.n - self.ctx.t and all(
+        unanimous = len(votes) >= self._ctx.n - self._ctx.t and all(
             all(
                 identifier in vote and vote[identifier] == rank
                 for identifier, rank in self.ranks.items()
@@ -189,8 +189,8 @@ class OrderPreservingRenaming(Process):
         else:
             self._stable_rounds = 0
         if self._stable_rounds >= STABILITY_ROUNDS:
-            self.frozen_at = round_no
-            self.ctx.log(round_no, "early_frozen", dict(self.ranks))
+            self.frozen_at = self._ctx.global_round(step)
+            self._ctx.log(step, "early_frozen", dict(self.ranks))
 
     @staticmethod
     def _first_vote(messages) -> Optional[Dict[int, Rank]]:
@@ -207,10 +207,76 @@ class OrderPreservingRenaming(Process):
 
     def _decide(self) -> None:
         """Line 36–37: output the rounded rank of the own id."""
-        if self.ctx.my_id not in self.ranks:
+        if self._ctx.my_id not in self.ranks:
             raise RuntimeError(
-                f"rank for own id {self.ctx.my_id} was discarded — "
+                f"rank for own id {self._ctx.my_id} was discarded — "
                 "cannot happen for a correct process when N > 3t"
             )
-        self.output_value = nearest_int(self.ranks[self.ctx.my_id])
-        self.ctx.log(self.total_rounds, "decided", self.output_value)
+        self._name = nearest_int(self.ranks[self._ctx.my_id])
+        self._ctx.log(self.steps, "decided", self._name)
+
+    def result(self) -> int:
+        return self._name
+
+
+class OrderPreservingRenaming(PhaseSequence):
+    """A correct process running Algorithm 1.
+
+    ``PhaseSequence(IdSelectionPhase, VotingPhase)`` — the legacy monolithic
+    round bookkeeping is gone; the sequence translates global rounds into
+    each phase's local steps and threads the :class:`IdSelectionResult` into
+    the voting phase's construction. Pre-refactor attributes (``.ranks``,
+    ``.accepted``, ``.frozen_at``) delegate to the live voting phase so
+    adversaries and analytics introspect the process unchanged.
+    """
+
+    def __init__(
+        self, ctx: ProcessContext, options: RenamingOptions = RenamingOptions()
+    ) -> None:
+        self.options = options
+        self.params = SystemParams(ctx.n, ctx.t)
+        if options.enforce_resilience:
+            self.params.require_byzantine_resilience()
+        delta = self.params.delta if options.stretch else Fraction(1)
+        self.delta: Rank = delta if options.exact_arithmetic else float(delta)
+        self._tolerance = 0.0 if options.exact_arithmetic else FLOAT_TOLERANCE
+        voting = options.voting_rounds
+        self.voting_rounds = self.params.voting_rounds if voting is None else voting
+        if self.voting_rounds < 1:
+            raise ValueError(f"need at least one voting round, got {self.voting_rounds}")
+        self.total_rounds = ID_SELECTION_STEPS + self.voting_rounds
+        self.selection = IdSelectionPhase(ctx.n, ctx.t, ctx.my_id)
+        self._voting: Optional[VotingPhase] = None
+        super().__init__(ctx, [self._selection_phase, self._voting_phase])
+
+    def _selection_phase(self, ctx: PhaseContext, _: object) -> IdSelectionPhase:
+        return self.selection
+
+    def _voting_phase(self, ctx: PhaseContext, outcome: object) -> VotingPhase:
+        assert isinstance(outcome, IdSelectionResult)
+        self._voting = VotingPhase(
+            ctx,
+            outcome,
+            delta=self.delta,
+            voting_rounds=self.voting_rounds,
+            options=self.options,
+            tolerance=self._tolerance,
+        )
+        return self._voting
+
+    # ------------------------------------------------- pre-refactor attributes
+
+    @property
+    def ranks(self) -> Dict[int, Rank]:
+        """Current rank estimates (empty until id selection completes)."""
+        return self._voting.ranks if self._voting is not None else {}
+
+    @property
+    def accepted(self) -> Set[int]:
+        """Accepted-id working set (empty until id selection completes)."""
+        return self._voting.accepted if self._voting is not None else set()
+
+    @property
+    def frozen_at(self) -> Optional[int]:
+        """Round at which early-deciding froze the ranks (None otherwise)."""
+        return self._voting.frozen_at if self._voting is not None else None

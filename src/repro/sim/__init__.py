@@ -9,6 +9,8 @@ Public surface:
 
 * :class:`Process` / :class:`ProcessContext` — write protocols as round state
   machines.
+* :class:`Phase` / :class:`PhaseSequence` / :class:`Multiplexer` — compose
+  protocols from reusable fragments (see :mod:`repro.sim.compose`).
 * :func:`run_protocol` / :class:`RunResult` — execute a run.
 * :class:`Adversary` / :class:`AdversaryContext` — the fault-injection
   contract (implementations in :mod:`repro.adversary`).
@@ -16,6 +18,14 @@ Public surface:
 * :class:`RunMetrics`, :class:`TraceRecorder` — observability.
 """
 
+from .compose import (
+    EnvelopeMessage,
+    Multiplexer,
+    Phase,
+    PhaseBuilder,
+    PhaseContext,
+    PhaseSequence,
+)
 from .errors import (
     ConfigurationError,
     ProtocolViolationError,
@@ -26,7 +36,15 @@ from .faults import Adversary, AdversaryContext, NullAdversary, split_fault_slot
 from .messages import KIND_BITS, Message, int_bits, total_bits
 from .metrics import RoundMetrics, RunMetrics
 from .network import Delivery, SynchronousNetwork
-from .process import BROADCAST, Inbox, Outbox, Process, ProcessContext, iter_inbox
+from .process import (
+    BROADCAST,
+    Inbox,
+    Outbox,
+    Process,
+    ProcessContext,
+    iter_inbox,
+    ordered_links,
+)
 from .rng import derive_rng, derive_seed
 from .runner import ProcessFactory, RunResult, run_protocol
 from .topology import FullMeshTopology
@@ -38,12 +56,18 @@ __all__ = [
     "BROADCAST",
     "ConfigurationError",
     "Delivery",
+    "EnvelopeMessage",
     "FullMeshTopology",
     "Inbox",
     "KIND_BITS",
     "Message",
+    "Multiplexer",
     "NullAdversary",
     "Outbox",
+    "Phase",
+    "PhaseBuilder",
+    "PhaseContext",
+    "PhaseSequence",
     "Process",
     "ProcessContext",
     "ProcessFactory",
@@ -60,6 +84,7 @@ __all__ = [
     "derive_seed",
     "int_bits",
     "iter_inbox",
+    "ordered_links",
     "run_protocol",
     "split_fault_slots",
     "total_bits",

@@ -67,6 +67,11 @@ class Adversary(ABC):
 
     ctx: AdversaryContext
 
+    #: Whether the runner should build faulty-slot inboxes and call
+    #: :meth:`observe` each round. Adversaries that discard observations set
+    #: this to ``False`` so the runner can skip the per-round freeze work.
+    wants_observations: bool = True
+
     def bind(self, ctx: AdversaryContext) -> None:
         """Attach the run configuration. Called once before round 1."""
         self.ctx = ctx
@@ -86,6 +91,8 @@ class NullAdversary(Adversary):
 
     Also the stand-in used when a run has no faulty slots at all.
     """
+
+    wants_observations = False
 
     def send(
         self, round_no: int, correct_outboxes: Mapping[int, Outbox]

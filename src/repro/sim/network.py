@@ -109,5 +109,10 @@ class SynchronousNetwork:
 
     @staticmethod
     def freeze_inbox(links: Dict[int, List[Message]]) -> Inbox:
-        """Make the per-link message lists immutable before handing them out."""
-        return {link: tuple(msgs) for link, msgs in links.items()}
+        """Freeze per-link message lists into an ascending-link-order inbox.
+
+        Sorting once here is what lets every protocol hot loop walk its
+        inbox without re-sorting (the ordering guarantee documented on
+        :data:`~repro.sim.process.Inbox`).
+        """
+        return {link: tuple(links[link]) for link in sorted(links)}

@@ -34,6 +34,13 @@ BROADCAST = 0
 Outbox = Dict[int, List[Message]]
 
 #: An inbox maps a link label to the tuple of messages that arrived on it.
+#:
+#: Ordering guarantee: inboxes produced by the simulator
+#: (:meth:`SynchronousNetwork.freeze_inbox`) iterate in ascending link order,
+#: so per-round protocol loops can walk them directly without re-sorting.
+#: Hand-built inboxes (tests, adversarial harnesses) need not be sorted;
+#: :func:`ordered_links` normalises either kind at O(n) cost when already
+#: sorted.
 Inbox = Mapping[int, Tuple[Message, ...]]
 
 #: Optional tracing callback: ``trace(round, event, detail)``.
@@ -53,7 +60,10 @@ class ProcessContext:
     n: int
     t: int
     my_id: int
-    rng: Random = field(default_factory=Random)
+    #: Defaults to a *fixed-seed* generator: a factory that forgets to pass a
+    #: derived rng must never silently produce irreproducible runs. The
+    #: runner always overrides this with ``derive_rng(seed, "process", i)``.
+    rng: Random = field(default_factory=lambda: Random(0))
     trace: Optional[TraceFn] = None
 
     @property
@@ -98,12 +108,25 @@ class Process(ABC):
         """Consume everything received during round ``round_no``."""
 
 
+def ordered_links(inbox: Inbox):
+    """The inbox's link labels in ascending order, sorting only if needed.
+
+    Simulator-produced inboxes are already link-sorted (see :data:`Inbox`),
+    so the common case is a single O(n) sortedness check; hand-built
+    unsorted inboxes pay for one sort.
+    """
+    links = list(inbox)
+    if all(links[i] < links[i + 1] for i in range(len(links) - 1)):
+        return links
+    return sorted(links)
+
+
 def iter_inbox(inbox: Inbox):
     """Yield ``(link, message)`` pairs over an inbox in link order.
 
     Handy for the ubiquitous "foreach <msg> received from a distinct link"
     loops in the paper's pseudo-code.
     """
-    for link in sorted(inbox):
+    for link in ordered_links(inbox):
         for message in inbox[link]:
             yield link, message

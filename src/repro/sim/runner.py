@@ -206,10 +206,13 @@ def run_protocol(
             links = plan.get(index)
             inbox = network.freeze_inbox(links) if links else empty
             processes[index].deliver(round_no, inbox)
-        byz_inboxes: Mapping[int, Inbox] = {
-            index: network.freeze_inbox(plan[index]) for index in byz if index in plan
-        }
-        adversary.observe(round_no, byz_inboxes)
+        if adversary.wants_observations:
+            byz_inboxes: Mapping[int, Inbox] = {
+                index: network.freeze_inbox(plan[index])
+                for index in byz
+                if index in plan
+            }
+            adversary.observe(round_no, byz_inboxes)
     else:
         stuck = [i for i, p in processes.items() if not p.done]
         raise RoundLimitExceeded(

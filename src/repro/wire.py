@@ -35,6 +35,7 @@ from .core.messages import (
     RanksMessage,
     ReadyMessage,
 )
+from .sim.compose import EnvelopeMessage
 from .sim.messages import Message
 
 
@@ -215,6 +216,34 @@ def _decode_relay(data: bytes, offset: int):
     return RelayMessage(entries=tuple(entries)), offset
 
 
+def _encode_envelope(message: EnvelopeMessage, out: bytearray) -> None:
+    # Instance tag, then the payload's own full encoding (tag byte included)
+    # — decoding is sequential, so no length prefix is needed.
+    write_varint(message.tag, out)
+    try:
+        inner_tag, encoder, _ = _CODECS[type(message.payload)]
+    except KeyError:
+        raise WireError(
+            f"no codec registered for envelope payload "
+            f"{type(message.payload).__name__}"
+        )
+    out.append(inner_tag)
+    encoder(message.payload, out)
+
+
+def _decode_envelope(data: bytes, offset: int):
+    tag, offset = read_varint(data, offset)
+    if offset >= len(data):
+        raise WireError("truncated envelope payload")
+    inner_tag = data[offset]
+    try:
+        _cls, decoder = _BY_TAG[inner_tag]
+    except KeyError:
+        raise WireError(f"unknown wire tag {inner_tag} inside envelope")
+    payload, offset = decoder(data, offset + 1)
+    return EnvelopeMessage(tag=tag, payload=payload), offset
+
+
 def _single_id_decoder(cls: Type[Message]) -> Decoder:
     def decode(data: bytes, offset: int):
         identifier, offset = read_varint(data, offset)
@@ -249,6 +278,7 @@ _register(MultiEchoMessage, 17, _encode_multiecho, _decode_multiecho)
 _register(ValueMessage, 18, _encode_value, _decode_value)
 _register(ClaimMessage, 19, _encode_claim, _decode_claim)
 _register(RelayMessage, 20, _encode_relay, _decode_relay)
+_register(EnvelopeMessage, 21, _encode_envelope, _decode_envelope)
 
 _BY_TAG: Dict[int, Tuple[Type[Message], Decoder]] = {
     tag: (cls, decoder) for cls, (tag, _, decoder) in _CODECS.items()

@@ -91,6 +91,14 @@ class TestDeliver:
         frozen = SynchronousNetwork.freeze_inbox({1: [IdMessage(3)]})
         assert frozen == {1: (IdMessage(3),)}
 
+    def test_freeze_inbox_sorts_links(self):
+        # The Inbox contract promises ascending link order, so protocol hot
+        # loops can skip per-round re-sorting (see ordered_links).
+        frozen = SynchronousNetwork.freeze_inbox(
+            {4: [IdMessage(4)], 1: [IdMessage(1)], 3: [IdMessage(3)]}
+        )
+        assert list(frozen) == [1, 3, 4]
+
 
 class TestRoute:
     def test_route_returns_plan_and_transmissions(self):

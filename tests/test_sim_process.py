@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.core.messages import EchoMessage, IdMessage
-from repro.sim import BROADCAST, Process, ProcessContext, iter_inbox
+from repro.sim import BROADCAST, Process, ProcessContext, iter_inbox, ordered_links
 
 
 class Trivial(Process):
@@ -47,6 +47,31 @@ class TestProcessContext:
         )
         ctx.log(4, "ranks", {"x": 1})
         assert seen == [(4, "ranks", {"x": 1})]
+
+    def test_default_rng_is_deterministic(self):
+        # A factory that forgets to derive an rng must still yield
+        # reproducible runs: the default is a fixed-seed generator, and every
+        # context gets its own instance (no shared stream between processes).
+        a = ProcessContext(n=3, t=0, my_id=1)
+        b = ProcessContext(n=3, t=0, my_id=2)
+        assert a.rng is not b.rng
+        assert [a.rng.random() for _ in range(5)] == [
+            b.rng.random() for _ in range(5)
+        ]
+
+
+class TestOrderedLinks:
+    def test_sorted_input_kept_as_is(self):
+        inbox = {1: (), 2: (), 5: ()}
+        assert ordered_links(inbox) == [1, 2, 5]
+
+    def test_unsorted_input_sorted(self):
+        inbox = dict.fromkeys([4, 1, 3], ())
+        assert ordered_links(inbox) == [1, 3, 4]
+
+    def test_empty_and_singleton(self):
+        assert ordered_links({}) == []
+        assert ordered_links({7: ()}) == [7]
 
 
 class TestIterInbox:

@@ -175,6 +175,37 @@ class TestRunProtocol:
                 seed=0,
             )
 
+    def test_observe_skipped_when_unwanted(self):
+        """Adversaries that declare wants_observations=False never receive
+        observe() calls — the runner skips building their inbox view."""
+        calls = []
+
+        class Spy(NullAdversary):
+            wants_observations = True  # NullAdversary opts out; re-enable
+
+            def observe(self, round_no, inboxes):
+                calls.append((round_no, dict(inboxes)))
+
+        watching = Spy()
+        run_protocol(
+            EchoOnce, n=4, t=1, ids=[1, 2, 3, 4], adversary=watching, seed=0
+        )
+        assert calls  # wants_observations defaults to True
+        assert all(inboxes for _, inboxes in calls)
+
+        calls.clear()
+
+        class Blind(Spy):
+            wants_observations = False
+
+        run_protocol(
+            EchoOnce, n=4, t=1, ids=[1, 2, 3, 4], adversary=Blind(), seed=0
+        )
+        assert calls == []
+
+    def test_null_adversary_declines_observations(self):
+        assert NullAdversary.wants_observations is False
+
     def test_runs_reproducible(self):
         first = run_protocol(EchoOnce, n=5, t=1, ids=list(range(1, 6)), seed=3)
         second = run_protocol(EchoOnce, n=5, t=1, ids=list(range(1, 6)), seed=3)

@@ -19,6 +19,7 @@ from repro.core.messages import (
     RanksMessage,
     ReadyMessage,
 )
+from repro.sim.compose import EnvelopeMessage
 from repro.wire import (
     WireError,
     decode_message,
@@ -116,6 +117,9 @@ class TestRoundtrips:
             "ValueMessage": ValueMessage(Fraction(1, 3)),
             "ClaimMessage": ClaimMessage(4, 1, 8),
             "RelayMessage": RelayMessage(entries=(((2,), 6),)),
+            "EnvelopeMessage": EnvelopeMessage(
+                tag=3, payload=RelayMessage(entries=(((1,), 9),))
+            ),
         }
         for cls in wire_types():
             sample = samples.get(cls.__name__)
