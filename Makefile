@@ -14,9 +14,14 @@ bench:
 	$(PYTHON) -m pytest -q benchmarks/
 
 ## Fast end-to-end check: a small sweep through the process pool with
-## caching, via the CLI. Catches pool pickling and cache regressions in
-## seconds without running the full benchmark suite.
+## caching, via the CLI — once per execution engine, so a regression in
+## either the batched fast path or the reference loop surfaces here.
+## Catches pool pickling and cache regressions in seconds without running
+## the full benchmark suite.
 smoke:
 	$(PYTHON) -m repro.cli sweep --algorithms alg1 okun-crash \
 		--sizes 4:1 5:1 --attacks silent crash --seeds 0 1 \
-		--workers 2
+		--workers 2 --engine batched
+	$(PYTHON) -m repro.cli sweep --algorithms alg1 okun-crash \
+		--sizes 4:1 5:1 --attacks silent crash --seeds 0 1 \
+		--workers 2 --engine reference

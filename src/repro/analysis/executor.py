@@ -45,6 +45,7 @@ from typing import (
     Union,
 )
 
+from ..sim import DEFAULT_ENGINE
 from ..workloads.ids import make_ids
 from .experiments import ExperimentRecord, run_experiment
 from .properties import PropertyReport
@@ -83,6 +84,7 @@ class RunTask:
     workload: str = "uniform"
     collect_trace: bool = False
     max_rounds: int = 1000
+    engine: str = DEFAULT_ENGINE
 
 
 @dataclass
@@ -232,6 +234,7 @@ def execute_task(task: RunTask) -> ExperimentSummary:
         seed=task.seed,
         collect_trace=task.collect_trace,
         max_rounds=task.max_rounds,
+        engine=task.engine,
     )
     return summarize_record(
         record, workload=task.workload, elapsed_s=time.perf_counter() - start
@@ -243,12 +246,16 @@ class ResultCache:
 
     Keys are SHA-256 hashes of the full :class:`RunTask` plus a schema
     version, so any knob that could change the outcome (algorithm, size,
-    attack, seed, workload, round cap, tracing) misses cleanly, and schema
-    bumps invalidate everything at once. Corrupt or unreadable entries are
-    treated as misses, never as errors.
+    attack, seed, workload, round cap, tracing, engine) misses cleanly, and
+    schema bumps invalidate everything at once. Corrupt or unreadable entries
+    are treated as misses, never as errors.
+
+    The engine is part of the key even though both engines are proven to
+    produce identical summaries: a cache hit must never mask an engine
+    divergence that the differential suite would have caught.
     """
 
-    SCHEMA = 1
+    SCHEMA = 2
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
@@ -266,6 +273,7 @@ class ResultCache:
                 "workload": task.workload,
                 "collect_trace": task.collect_trace,
                 "max_rounds": task.max_rounds,
+                "engine": task.engine,
             },
             sort_keys=True,
         )
@@ -343,6 +351,7 @@ class SweepExecutor:
                 workload=config.workload,
                 collect_trace=config.collect_trace,
                 max_rounds=config.max_rounds,
+                engine=getattr(config, "engine", DEFAULT_ENGINE),
             )
             for algorithm, n, t, attack, seed in config.configurations()
         ]

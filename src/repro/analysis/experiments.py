@@ -31,7 +31,7 @@ from ..core import (
     SystemParams,
     TwoStepRenaming,
 )
-from ..sim import ConfigurationError, RunResult, run_protocol
+from ..sim import DEFAULT_ENGINE, ConfigurationError, RunResult, run_protocol
 from ..sim.process import ProcessContext
 from .properties import PropertyReport, check_renaming
 
@@ -160,11 +160,14 @@ def run_experiment(
     collect_trace: bool = False,
     namespace: Optional[int] = None,
     max_rounds: int = 1000,
+    engine: str = DEFAULT_ENGINE,
 ) -> ExperimentRecord:
     """Execute one configuration and judge it.
 
     ``namespace`` overrides the algorithm's promised bound (used when probing
     slack applies); everything else comes from :data:`ALGORITHMS`.
+    ``engine`` selects the round-loop implementation (see
+    :mod:`repro.sim.engine`) — results are identical either way.
 
     ``attack`` must be one of the strategies registered as meaningful for
     ``algorithm`` (:attr:`AlgorithmSpec.attacks`); anything else raises
@@ -192,6 +195,7 @@ def run_experiment(
         seed=seed,
         collect_trace=collect_trace,
         max_rounds=max_rounds,
+        engine=engine,
     )
     bound = spec.namespace(params) if namespace is None else namespace
     report = check_renaming(result, bound)

@@ -23,6 +23,7 @@ from typing import (
     Union,
 )
 
+from ..sim import DEFAULT_ENGINE
 from .executor import ExperimentSummary, ResultCache, RunTask, SweepExecutor
 from .experiments import ALGORITHMS
 
@@ -33,6 +34,8 @@ class SweepConfig:
 
     ``sizes`` are (n, t) pairs; configurations an algorithm's resilience
     condition rejects are skipped (a sweep over mixed regimes is normal).
+    ``engine`` selects the simulator round loop for every cell (see
+    :mod:`repro.sim.engine`); results are engine-independent.
     """
 
     algorithms: Sequence[str]
@@ -42,6 +45,7 @@ class SweepConfig:
     workload: str = "uniform"
     collect_trace: bool = False
     max_rounds: int = 1000
+    engine: str = DEFAULT_ENGINE
 
     def configurations(self) -> Iterator[Tuple[str, int, int, str, int]]:
         """Yield runnable (algorithm, n, t, attack, seed) tuples."""

@@ -27,7 +27,7 @@ from .analysis import (
     run_experiment,
     summarize_views,
 )
-from .sim import ConfigurationError
+from .sim import ConfigurationError, DEFAULT_ENGINE, engine_names
 from .workloads import get_scenario, make_ids, scenario_names, workload_names
 
 
@@ -55,6 +55,15 @@ def _parse_size(text: str) -> Tuple[int, int]:
         ) from None
 
 
+def _add_engine_flag(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--engine", default=DEFAULT_ENGINE, choices=engine_names(),
+        help="simulator round-loop implementation (results are identical; "
+             "'reference' is the slow oracle the batched engine is "
+             "differentially tested against)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-renaming",
@@ -74,11 +83,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--attack", default="silent", choices=adversary_names())
     run.add_argument("--workload", default="uniform", choices=workload_names())
     run.add_argument("--seed", type=int, default=0)
+    _add_engine_flag(run)
 
     scenario = commands.add_parser("scenario", help="execute a canned scenario")
     scenario.add_argument("name", choices=scenario_names())
     scenario.add_argument("--algorithm", default="alg1", choices=sorted(ALGORITHMS))
     scenario.add_argument("--seed", type=int, default=0)
+    _add_engine_flag(scenario)
 
     commands.add_parser(
         "verify",
@@ -103,6 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--save", metavar="PATH", default=None,
         help="archive the traced run as JSON for offline analysis",
     )
+    _add_engine_flag(inspect)
 
     replay = commands.add_parser(
         "replay", help="re-render the timeline of an archived run"
@@ -131,6 +143,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="reuse cached results from DIR; only changed configurations "
              "are executed",
     )
+    _add_engine_flag(sweep)
     return parser
 
 
@@ -169,7 +182,8 @@ def cmd_list() -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     ids = make_ids(args.workload, args.n, seed=args.seed)
     record = run_experiment(
-        args.algorithm, args.n, args.t, ids, attack=args.attack, seed=args.seed
+        args.algorithm, args.n, args.t, ids, attack=args.attack, seed=args.seed,
+        engine=args.engine,
     )
     _print_record(record)
     return 0 if record.report.ok_without_order() else 1
@@ -186,6 +200,7 @@ def cmd_scenario(args: argparse.Namespace) -> int:
         ids,
         attack=scenario.attack,
         seed=args.seed,
+        engine=args.engine,
     )
     _print_record(record)
     return 0 if record.report.ok_without_order() else 1
@@ -248,6 +263,7 @@ def cmd_inspect(args: argparse.Namespace) -> int:
         attack=args.attack,
         seed=args.seed,
         collect_trace=True,
+        engine=args.engine,
     )
     print(render_timeline(record.result))
     views = summarize_views(record.result)
@@ -281,6 +297,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         attacks=args.attacks,
         seeds=args.seeds,
         workload=args.workload,
+        engine=args.engine,
     )
     executor = SweepExecutor(workers=args.workers, cache=args.cache)
     records = executor.run(config)

@@ -12,6 +12,9 @@ Public surface:
 * :class:`Phase` / :class:`PhaseSequence` / :class:`Multiplexer` — compose
   protocols from reusable fragments (see :mod:`repro.sim.compose`).
 * :func:`run_protocol` / :class:`RunResult` — execute a run.
+* :class:`Engine` / :func:`resolve_engine` — pluggable round-loop execution
+  (``"reference"`` oracle vs the default ``"batched"`` fast path, see
+  :mod:`repro.sim.engine`).
 * :class:`Adversary` / :class:`AdversaryContext` — the fault-injection
   contract (implementations in :mod:`repro.adversary`).
 * :class:`FullMeshTopology`, :class:`SynchronousNetwork` — the wiring.
@@ -25,6 +28,15 @@ from .compose import (
     PhaseBuilder,
     PhaseContext,
     PhaseSequence,
+)
+from .engine import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    BatchedEngine,
+    Engine,
+    ReferenceEngine,
+    engine_names,
+    resolve_engine,
 )
 from .errors import (
     ConfigurationError,
@@ -54,8 +66,12 @@ __all__ = [
     "Adversary",
     "AdversaryContext",
     "BROADCAST",
+    "BatchedEngine",
     "ConfigurationError",
+    "DEFAULT_ENGINE",
     "Delivery",
+    "ENGINES",
+    "Engine",
     "EnvelopeMessage",
     "FullMeshTopology",
     "Inbox",
@@ -72,6 +88,7 @@ __all__ = [
     "ProcessContext",
     "ProcessFactory",
     "ProtocolViolationError",
+    "ReferenceEngine",
     "RoundLimitExceeded",
     "RoundMetrics",
     "RunMetrics",
@@ -82,6 +99,7 @@ __all__ = [
     "TraceRecorder",
     "derive_rng",
     "derive_seed",
+    "engine_names",
     "int_bits",
     "iter_inbox",
     "ordered_links",

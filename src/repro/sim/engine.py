@@ -1,0 +1,402 @@
+"""Round execution engines: the reference loop and the batched fast path.
+
+:func:`~repro.sim.runner.run_protocol` owns run *setup* (topology, fault
+slots, process construction) and result assembly; everything between —
+"execute synchronous rounds until every correct process is done" — is an
+:class:`Engine`. Two implementations ship:
+
+* :class:`ReferenceEngine` (``"reference"``) — the original, obviously-correct
+  loop: per-round ``Outbox`` dicts expanded into ``(link, message)``
+  transmission lists by :meth:`~repro.sim.network.SynchronousNetwork.route`,
+  then frozen into per-recipient inboxes. One Python object per message hop.
+* :class:`BatchedEngine` (``"batched"``, the default) — one routing pass per
+  round over precomputed ``(sender, link) → (recipient, recipient_link)``
+  tables, preallocated per-link inbox buffers reused across rounds, interned
+  instances for the high-volume message types, and per-*message* (not
+  per-transmission) traffic accounting with cached bit sizes.
+
+The two engines are **behaviour-identical by contract**: same process calls
+in the same order, equal inboxes, equal metrics, equal traces, same errors —
+under every adversary, because the adversary's rushing view and observation
+inboxes are built identically. ``tests/test_engine_differential.py`` enforces
+the contract across every registered algorithm × attack × seed grid; any
+optimisation that cannot keep the contract does not belong here.
+
+Both engines honour two opt-in collection knobs: tracing costs nothing
+unless a :class:`~repro.sim.trace.TraceRecorder` was attached at setup, and
+``collect_metrics=False`` skips all traffic accounting (round count is
+always maintained — it is load-bearing for every caller).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from .errors import ConfigurationError, ProtocolViolationError, RoundLimitExceeded
+from .faults import Adversary
+from .messages import Message
+from .metrics import RunMetrics
+from .network import SynchronousNetwork
+from .process import BROADCAST, Inbox, Outbox, Process
+
+
+def _roundtrip_outbox(outbox: Outbox) -> Outbox:
+    """Encode and decode every message (the ``through_wire`` fidelity drill).
+
+    Imported lazily: the codec lives above this layer (it knows every
+    protocol's message types), so the engine must not import it at module
+    scope.
+    """
+    from ..wire import decode_message, encode_message
+
+    return {
+        link: [decode_message(encode_message(message)) for message in messages]
+        for link, messages in outbox.items()
+    }
+
+
+def _pooled_types() -> Tuple[type, ...]:
+    """The high-volume message types worth interning.
+
+    Imported lazily for the same layering reason as the codec: the concrete
+    protocol messages live above the simulator substrate.
+    """
+    from ..core.messages import EchoMessage, IdMessage, RanksMessage
+    from .compose import EnvelopeMessage
+
+    return (IdMessage, EchoMessage, RanksMessage, EnvelopeMessage)
+
+
+class Engine(ABC):
+    """One strategy for executing the synchronous round loop.
+
+    Engines are stateless between runs — all per-run working state lives
+    inside :meth:`execute` — so the registry can hand out shared instances
+    (including across process-pool forks).
+    """
+
+    #: Registry name, set by subclasses.
+    name: str
+
+    @abstractmethod
+    def execute(
+        self,
+        *,
+        processes: Dict[int, Process],
+        adversary: Adversary,
+        byzantine: Sequence[int],
+        network: SynchronousNetwork,
+        metrics: RunMetrics,
+        through_wire: bool = False,
+        max_rounds: int = 1000,
+        collect_metrics: bool = True,
+    ) -> None:
+        """Run rounds until every correct process is done.
+
+        Raises :class:`RoundLimitExceeded` if ``max_rounds`` fires first.
+        """
+
+
+class ReferenceEngine(Engine):
+    """The original per-object round loop (see module docstring)."""
+
+    name = "reference"
+
+    def execute(
+        self,
+        *,
+        processes: Dict[int, Process],
+        adversary: Adversary,
+        byzantine: Sequence[int],
+        network: SynchronousNetwork,
+        metrics: RunMetrics,
+        through_wire: bool = False,
+        max_rounds: int = 1000,
+        collect_metrics: bool = True,
+    ) -> None:
+        byz_set = set(byzantine)
+        for round_no in range(1, max_rounds + 1):
+            pending = [i for i, p in processes.items() if not p.done]
+            if not pending:
+                break
+            record = metrics.begin_round(round_no)
+
+            correct_outboxes: Dict[int, Outbox] = {
+                i: processes[i].send(round_no) for i in pending
+            }
+            if through_wire:
+                correct_outboxes = {
+                    i: _roundtrip_outbox(outbox)
+                    for i, outbox in correct_outboxes.items()
+                }
+            byz_outboxes = adversary.send(round_no, correct_outboxes)
+            for index in byz_outboxes:
+                if index not in byz_set:
+                    raise ConfigurationError(
+                        f"adversary tried to send as correct process {index}"
+                    )
+
+            all_outboxes: Dict[int, Outbox] = dict(correct_outboxes)
+            all_outboxes.update(byz_outboxes)
+            # route() expands each outbox exactly once and hands the expanded
+            # transmission lists back for accounting — the hot path must never
+            # re-expand what the network already walked.
+            delivery = network.route(all_outboxes)
+            plan = delivery.plan
+
+            if collect_metrics:
+                for index in correct_outboxes:
+                    metrics.count_correct(
+                        record, (m for _, m in delivery.transmissions[index])
+                    )
+                record.byzantine_messages += sum(
+                    delivery.sent_count(index) for index in byz_outboxes
+                )
+
+            empty: Inbox = {}
+            for index in pending:
+                links = plan.get(index)
+                inbox = network.freeze_inbox(links) if links else empty
+                processes[index].deliver(round_no, inbox)
+            if adversary.wants_observations:
+                byz_inboxes: Mapping[int, Inbox] = {
+                    index: network.freeze_inbox(plan[index])
+                    for index in byzantine
+                    if index in plan
+                }
+                adversary.observe(round_no, byz_inboxes)
+        else:
+            _raise_round_limit(processes, max_rounds)
+
+
+class BatchedEngine(Engine):
+    """Array-of-buffers round loop (see module docstring).
+
+    Behaviour-identical to :class:`ReferenceEngine`; every deviation below is
+    an implementation detail that provably cannot be observed:
+
+    * routing goes through a per-run ``(sender, link) → (recipient,
+      recipient_link)`` table instead of two topology dict lookups per
+      transmission — the table is built *from* the topology, so the mapping
+      is the same;
+    * per-recipient per-link buffers are reused across rounds and frozen into
+      ascending-link-order inboxes exactly like
+      :meth:`~repro.sim.network.SynchronousNetwork.freeze_inbox`;
+    * equal messages of the high-volume types are interned to one canonical
+      instance — safe because messages are frozen (the reference engine
+      already aliases one object across all recipients of a broadcast) and
+      delivered objects compare equal either way;
+    * traffic is accounted per message with a broadcast fan-out multiplier
+      and a per-canonical-instance bit-size cache, which sums to exactly the
+      reference's per-transmission accounting.
+    """
+
+    name = "batched"
+
+    def execute(
+        self,
+        *,
+        processes: Dict[int, Process],
+        adversary: Adversary,
+        byzantine: Sequence[int],
+        network: SynchronousNetwork,
+        metrics: RunMetrics,
+        through_wire: bool = False,
+        max_rounds: int = 1000,
+        collect_metrics: bool = True,
+    ) -> None:
+        topology = network.topology
+        n = topology.n
+        self_link = topology.self_link
+        byz_set = set(byzantine)
+
+        # Preallocated inbox fabric: per-recipient per-link message buffers
+        # (indexed by link label, slot 0 unused) that live for the whole run;
+        # `active[r]` lists the links that received at least one message this
+        # round (cleared, not reallocated).
+        buffers: List[List[List[Message]]] = [
+            [[] for _ in range(n + 1)] for _ in range(n)
+        ]
+        active: List[List[int]] = [[] for _ in range(n)]
+
+        # fanout[s][link-1] = (slot, active[r], recipient_link) resolves the
+        # whole routing fabric — including the recipient-side buffer — to
+        # direct references, built once per run from the topology. fanout[s]
+        # doubles as the expansion of a BROADCAST from s (labels 1..n include
+        # the self-loop). Built via bulk table iteration: n² method calls
+        # would dominate short runs at large n.
+        label_at: List[List[int]] = [[0] * n for _ in range(n)]
+        for process in range(n):
+            row_labels = label_at[process]
+            for label, peer in topology.link_items(process):
+                row_labels[peer] = label
+        fanout: List[List[Tuple[List[Message], List[int], int]]] = []
+        for sender in range(n):
+            row: List[Tuple[List[Message], List[int], int]] = [None] * n  # type: ignore[list-item]
+            for link, recipient in topology.link_items(sender):
+                recipient_link = (
+                    self_link if recipient == sender else label_at[recipient][sender]
+                )
+                row[link - 1] = (
+                    buffers[recipient][recipient_link],
+                    active[recipient],
+                    recipient_link,
+                )
+            fanout.append(row)
+
+        pooled = frozenset(_pooled_types())
+        pool: Dict[Message, Message] = {}
+        bits_of: Dict[int, int] = {}  # id(canonical) -> cached bit size
+        id_bits = metrics.id_bits
+        rank_bits = metrics.rank_bits
+
+        def route(sender: int, outbox: Outbox, count_correct: bool) -> int:
+            """Route one outbox; returns the transmission count."""
+            row = fanout[sender]
+            sent = 0
+            for link, messages in outbox.items():
+                if link == BROADCAST:
+                    targets = row
+                    fan = n
+                elif 1 <= link <= n:
+                    targets = row[link - 1 : link]
+                    fan = 1
+                else:
+                    raise ProtocolViolationError(
+                        f"process {sender} addressed invalid link {link} (n={n})"
+                    )
+                for message in messages:
+                    if not isinstance(message, Message):
+                        raise ProtocolViolationError(
+                            f"process {sender} sent a non-Message object: "
+                            f"{message!r}"
+                        )
+                    if count_correct:
+                        is_pooled = type(message) in pooled
+                        if is_pooled:
+                            canonical = pool.get(message)
+                            if canonical is None:
+                                pool[message] = message
+                            else:
+                                message = canonical
+                        if collect_metrics:
+                            if is_pooled:
+                                # Pooled instances stay alive for the whole
+                                # run, so caching their size by id() is safe;
+                                # an ephemeral object's id could be recycled.
+                                key = id(message)
+                                bits = bits_of.get(key)
+                                if bits is None:
+                                    bits = message.bit_size(
+                                        id_bits=id_bits, rank_bits=rank_bits
+                                    )
+                                    bits_of[key] = bits
+                            else:
+                                bits = message.bit_size(
+                                    id_bits=id_bits, rank_bits=rank_bits
+                                )
+                            record.correct_messages += fan
+                            record.correct_bits += fan * bits
+                            if bits > metrics.peak_message_bits:
+                                metrics.peak_message_bits = bits
+                    sent += fan
+                    for slot, recipient_active, recipient_link in targets:
+                        if not slot:
+                            recipient_active.append(recipient_link)
+                        slot.append(message)
+            return sent
+
+        for round_no in range(1, max_rounds + 1):
+            pending = [i for i, p in processes.items() if not p.done]
+            if not pending:
+                break
+            record = metrics.begin_round(round_no)
+
+            correct_outboxes: Dict[int, Outbox] = {
+                i: processes[i].send(round_no) for i in pending
+            }
+            if through_wire:
+                correct_outboxes = {
+                    i: _roundtrip_outbox(outbox)
+                    for i, outbox in correct_outboxes.items()
+                }
+            byz_outboxes = adversary.send(round_no, correct_outboxes)
+            for index in byz_outboxes:
+                if index not in byz_set:
+                    raise ConfigurationError(
+                        f"adversary tried to send as correct process {index}"
+                    )
+
+            for index, outbox in correct_outboxes.items():
+                route(index, outbox, count_correct=True)
+            byz_sent = 0
+            for index, outbox in byz_outboxes.items():
+                byz_sent += route(index, outbox, count_correct=False)
+            if collect_metrics:
+                record.byzantine_messages += byz_sent
+
+            empty: Inbox = {}
+            for index in pending:
+                links = active[index]
+                if links:
+                    buf = buffers[index]
+                    inbox: Inbox = {
+                        link: tuple(buf[link]) for link in sorted(links)
+                    }
+                else:
+                    inbox = empty
+                processes[index].deliver(round_no, inbox)
+            if adversary.wants_observations:
+                byz_inboxes: Dict[int, Inbox] = {}
+                for index in byzantine:
+                    links = active[index]
+                    if links:
+                        buf = buffers[index]
+                        byz_inboxes[index] = {
+                            link: tuple(buf[link]) for link in sorted(links)
+                        }
+                adversary.observe(round_no, byz_inboxes)
+
+            for recipient in range(n):
+                links = active[recipient]
+                if links:
+                    buf = buffers[recipient]
+                    for link in links:
+                        buf[link].clear()
+                    links.clear()
+        else:
+            _raise_round_limit(processes, max_rounds)
+
+
+def _raise_round_limit(processes: Dict[int, Process], max_rounds: int) -> None:
+    stuck = [i for i, p in processes.items() if not p.done]
+    raise RoundLimitExceeded(
+        f"{len(stuck)} correct processes undecided after {max_rounds} rounds: "
+        f"{stuck[:8]}"
+    )
+
+
+#: Shared, stateless engine instances keyed by selector name.
+ENGINES: Dict[str, Engine] = {
+    engine.name: engine for engine in (ReferenceEngine(), BatchedEngine())
+}
+
+#: The engine ``run_protocol`` uses when none is requested.
+DEFAULT_ENGINE = "batched"
+
+
+def resolve_engine(name: str) -> Engine:
+    """Look up an engine by selector name (``"reference"`` | ``"batched"``)."""
+    try:
+        return ENGINES[name]
+    except KeyError:
+        known = ", ".join(sorted(ENGINES))
+        raise ConfigurationError(
+            f"unknown engine {name!r}; known engines: {known}"
+        ) from None
+
+
+def engine_names() -> List[str]:
+    """All registered engine selector names, sorted."""
+    return sorted(ENGINES)

@@ -12,19 +12,25 @@ Round structure (matching the paper's "Step r"):
 3. the network delivers everything simultaneously;
 4. every correct, not-yet-done process consumes its inbox;
 5. the adversary observes what reached the faulty slots.
+
+The loop itself lives in :mod:`repro.sim.engine`: ``engine="reference"``
+executes it one Python object per message hop, ``engine="batched"`` (the
+default) runs the same rounds through precomputed routing tables and reused
+inbox buffers. The two are behaviour-identical under every adversary.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
-from .errors import ConfigurationError, RoundLimitExceeded
+from .engine import DEFAULT_ENGINE, resolve_engine
+from .errors import ConfigurationError
 from .faults import Adversary, AdversaryContext, NullAdversary, split_fault_slots
 from .messages import int_bits
 from .metrics import RunMetrics
 from .network import SynchronousNetwork
-from .process import Inbox, Outbox, Process, ProcessContext
+from .process import Process, ProcessContext
 from .rng import derive_rng
 from .topology import FullMeshTopology
 from .trace import TraceRecorder
@@ -32,21 +38,6 @@ from .trace import TraceRecorder
 #: Builds a protocol instance from a context; the same factory serves correct
 #: processes and the adversary's "run the real protocol" strategies.
 ProcessFactory = Callable[[ProcessContext], Process]
-
-
-def _roundtrip_outbox(outbox: Outbox) -> Outbox:
-    """Encode and decode every message (the ``through_wire`` fidelity drill).
-
-    Imported lazily: the codec lives above this layer (it knows every
-    protocol's message types), so the runner must not import it at module
-    scope.
-    """
-    from ..wire import decode_message, encode_message
-
-    return {
-        link: [decode_message(encode_message(message)) for message in messages]
-        for link, messages in outbox.items()
-    }
 
 
 @dataclass
@@ -101,6 +92,9 @@ def run_protocol(
     max_rounds: int = 1000,
     collect_trace: bool = False,
     through_wire: bool = False,
+    engine: str = DEFAULT_ENGINE,
+    collect_metrics: bool = True,
+    topology_seed: Optional[int] = None,
 ) -> RunResult:
     """Execute one synchronous run and return its :class:`RunResult`.
 
@@ -114,6 +108,18 @@ def run_protocol(
     through the binary codec (:mod:`repro.wire`) before delivery — a
     fidelity drill proving the codec carries the full protocol (Byzantine
     traffic is exempt: adversaries may emit objects no codec knows).
+
+    ``engine`` selects the round-loop implementation (see
+    :mod:`repro.sim.engine`): ``"batched"`` (default) or ``"reference"``.
+    Both produce identical results; the reference engine exists as the
+    obviously-correct oracle the batched one is differentially tested
+    against.
+
+    ``collect_metrics=False`` skips all traffic accounting (message and bit
+    counters stay zero); round counts are always recorded. ``topology_seed``
+    overrides the seed used for link labelling only — metamorphic tests use
+    it to relabel every link while keeping fault slots, process randomness,
+    and the adversary unchanged.
     """
     if n < 1:
         raise ConfigurationError(f"need at least one process, got n={n}")
@@ -126,7 +132,8 @@ def run_protocol(
     if any(identifier < 1 for identifier in ids):
         raise ConfigurationError("original ids must be positive integers")
 
-    topology = FullMeshTopology(n, seed=seed)
+    engine_impl = resolve_engine(engine)
+    topology = FullMeshTopology(n, seed=seed if topology_seed is None else topology_seed)
     network = SynchronousNetwork(topology)
     byz = split_fault_slots(n, t, derive_rng(seed, "fault-slots"), fixed=byzantine)
     byz_set = set(byz)
@@ -164,61 +171,16 @@ def run_protocol(
         )
     )
 
-    for round_no in range(1, max_rounds + 1):
-        pending = [i for i, p in processes.items() if not p.done]
-        if not pending:
-            break
-        record = metrics.begin_round(round_no)
-
-        correct_outboxes: Dict[int, Outbox] = {
-            i: processes[i].send(round_no) for i in pending
-        }
-        if through_wire:
-            correct_outboxes = {
-                i: _roundtrip_outbox(outbox)
-                for i, outbox in correct_outboxes.items()
-            }
-        byz_outboxes = adversary.send(round_no, correct_outboxes)
-        for index in byz_outboxes:
-            if index not in byz_set:
-                raise ConfigurationError(
-                    f"adversary tried to send as correct process {index}"
-                )
-
-        all_outboxes: Dict[int, Outbox] = dict(correct_outboxes)
-        all_outboxes.update(byz_outboxes)
-        # route() expands each outbox exactly once and hands the expanded
-        # transmission lists back for accounting — the hot path must never
-        # re-expand what the network already walked.
-        delivery = network.route(all_outboxes)
-        plan = delivery.plan
-
-        for index in correct_outboxes:
-            metrics.count_correct(
-                record, (m for _, m in delivery.transmissions[index])
-            )
-        record.byzantine_messages += sum(
-            delivery.sent_count(index) for index in byz_outboxes
-        )
-
-        empty: Inbox = {}
-        for index in pending:
-            links = plan.get(index)
-            inbox = network.freeze_inbox(links) if links else empty
-            processes[index].deliver(round_no, inbox)
-        if adversary.wants_observations:
-            byz_inboxes: Mapping[int, Inbox] = {
-                index: network.freeze_inbox(plan[index])
-                for index in byz
-                if index in plan
-            }
-            adversary.observe(round_no, byz_inboxes)
-    else:
-        stuck = [i for i, p in processes.items() if not p.done]
-        raise RoundLimitExceeded(
-            f"{len(stuck)} correct processes undecided after {max_rounds} rounds: "
-            f"{stuck[:8]}"
-        )
+    engine_impl.execute(
+        processes=processes,
+        adversary=adversary,
+        byzantine=byz,
+        network=network,
+        metrics=metrics,
+        through_wire=through_wire,
+        max_rounds=max_rounds,
+        collect_metrics=collect_metrics,
+    )
 
     outputs = {i: p.output_value for i, p in processes.items()}
     return RunResult(

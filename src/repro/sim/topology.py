@@ -56,6 +56,20 @@ class FullMeshTopology:
         """All valid link labels, ``1..n`` (``n`` being the self-loop)."""
         return range(1, self._n + 1)
 
+    def link_items(self, process: int):
+        """Iterate ``(label, peer)`` pairs of ``process``'s ports table.
+
+        Bulk accessor for consumers that walk every link (the batched engine
+        builds its routing fabric from this); per-label queries should use
+        :meth:`peer_of` / :meth:`label_of`, which validate their arguments.
+        """
+        try:
+            return self._peer_of[process].items()
+        except IndexError:
+            raise ConfigurationError(
+                f"invalid process index {process} (n={self._n})"
+            ) from None
+
     def peer_of(self, process: int, label: int) -> int:
         """Global index of the peer that ``process`` reaches via ``label``."""
         try:

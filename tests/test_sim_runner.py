@@ -213,8 +213,10 @@ class TestRunProtocol:
         assert first.byzantine == second.byzantine
 
     def test_each_outbox_expanded_exactly_once_per_round(self, monkeypatch):
-        """The runner must not re-expand outboxes for metrics accounting —
-        delivery and traffic counting share one expansion pass."""
+        """The reference engine must not re-expand outboxes for metrics
+        accounting — delivery and traffic counting share one expansion pass.
+        (The batched engine bypasses ``expand_outbox`` entirely; its traffic
+        accounting is proven equal in tests/test_engine_differential.py.)"""
         from repro.sim.network import SynchronousNetwork
 
         calls = []
@@ -225,7 +227,9 @@ class TestRunProtocol:
             return original(self, sender, outbox)
 
         monkeypatch.setattr(SynchronousNetwork, "expand_outbox", counting)
-        result = run_protocol(EchoOnce, n=4, t=1, ids=[1, 2, 3, 4], seed=0)
+        result = run_protocol(
+            EchoOnce, n=4, t=1, ids=[1, 2, 3, 4], seed=0, engine="reference"
+        )
         # Every correct process is pending in every round; the null adversary
         # sends nothing. One expansion per (correct sender, round), no more.
         expected = result.metrics.round_count * len(result.correct)
