@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench smoke
+.PHONY: test bench smoke chaos-smoke
 
 ## Tier-1: the full unit/integration suite (what CI gates on).
 test:
@@ -25,3 +25,14 @@ smoke:
 	$(PYTHON) -m repro.cli sweep --algorithms alg1 okun-crash \
 		--sizes 4:1 5:1 --attacks silent crash --seeds 0 1 \
 		--workers 2 --engine reference
+
+## Beyond-model fault-injection campaign on both engines via the chaos
+## CLI. Exit 0 means the campaign is healthy (every injection classified,
+## no quarantined cells, no silent successes) — individual detections and
+## property violations are findings, not failures. A campaign that hangs,
+## drops a run, or lets an injected fault pass unverified fails here.
+chaos-smoke:
+	$(PYTHON) -m repro.cli chaos --algorithms alg1 alg4 \
+		--sizes 7:2 11:2 --seeds 0 1 --chaos-seeds 0 1 \
+		--engines batched reference --preset smoke \
+		--workers 2 --timeout 120

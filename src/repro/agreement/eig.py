@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..sim.errors import ConfigurationError
 from ..sim.messages import KIND_BITS, Message
 from ..sim.process import Inbox, Outbox, Process, ProcessContext, ordered_links
 
@@ -58,7 +59,7 @@ class EIGInteractiveConsistency(Process):
     ) -> None:
         super().__init__(ctx)
         if ctx.n <= 3 * ctx.t:
-            raise ValueError(f"EIG requires N > 3t (n={ctx.n}, t={ctx.t})")
+            raise ConfigurationError(f"EIG requires N > 3t (n={ctx.n}, t={ctx.t})")
         self.my_index = my_index
         self.link_to_index = dict(link_to_index)
         self.value = int(value)
@@ -174,7 +175,7 @@ class EIGBroadcast(Process):
     ) -> None:
         super().__init__(ctx)
         if ctx.n <= 3 * ctx.t:
-            raise ValueError(f"EIG requires N > 3t (n={ctx.n}, t={ctx.t})")
+            raise ConfigurationError(f"EIG requires N > 3t (n={ctx.n}, t={ctx.t})")
         if not 0 <= source < ctx.n:
             raise ValueError(f"source {source} out of range for n={ctx.n}")
         if (value is not None) != (my_index == source):

@@ -6,6 +6,15 @@ from .experiments import (
     ExperimentRecord,
     run_experiment,
 )
+from .campaign import (
+    CHAOS_PRESETS,
+    ChaosCampaign,
+    ChaosOutcome,
+    ChaosTask,
+    TriageReport,
+    chaos_grid,
+    execute_chaos_task,
+)
 from .charts import bar_chart, decay_ratio, log_curve, step_curve
 from .executor import (
     ExperimentSummary,
@@ -34,7 +43,11 @@ from .verify import ClaimResult, verify_reproduction
 __all__ = [
     "ALGORITHMS",
     "AlgorithmSpec",
+    "CHAOS_PRESETS",
     "CSV_FIELDS",
+    "ChaosCampaign",
+    "ChaosOutcome",
+    "ChaosTask",
     "ClaimResult",
     "ExperimentRecord",
     "ExperimentSummary",
@@ -46,9 +59,12 @@ __all__ = [
     "SweepConfig",
     "SweepExecutor",
     "SweepStats",
+    "TriageReport",
     "banner",
     "bar_chart",
+    "chaos_grid",
     "check_renaming",
+    "execute_chaos_task",
     "contraction_factors",
     "decay_ratio",
     "dump_run",

@@ -30,9 +30,10 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from pathlib import Path
 from typing import (
@@ -60,6 +61,8 @@ __all__ = [
     "resolve_workers",
     "summarize_record",
 ]
+
+logger = logging.getLogger(__name__)
 
 
 def resolve_workers(workers: Optional[int]) -> int:
@@ -100,6 +103,11 @@ class ExperimentSummary:
     its decision (decision latency; requires ``collect_trace=True``, else
     ``None``). ``elapsed_s`` is the run's own wall-clock; ``cached`` marks
     summaries restored from a :class:`ResultCache` rather than executed.
+
+    ``failed=True`` marks a configuration whose worker raised even after a
+    retry; ``error`` then carries ``"ExceptionType: message"``. Failed
+    summaries are never cached and every property flag is False — a failure
+    can never read as a success.
     """
 
     algorithm: str
@@ -117,6 +125,38 @@ class ExperimentSummary:
     settled_round: Optional[int] = None
     elapsed_s: float = 0.0
     cached: bool = False
+    failed: bool = False
+    error: Optional[str] = None
+
+    @classmethod
+    def for_failure(cls, task: "RunTask", error: BaseException) -> "ExperimentSummary":
+        """A loud placeholder row for a configuration whose run raised."""
+        message = f"{type(error).__name__}: {error}"
+        report = PropertyReport(
+            names={},
+            namespace=0,
+            validity=False,
+            termination=False,
+            uniqueness=False,
+            order_preservation=False,
+            violations=[f"failed: {message}"],
+        )
+        return cls(
+            algorithm=task.algorithm,
+            n=task.n,
+            t=task.t,
+            attack=task.attack,
+            seed=task.seed,
+            workload=task.workload,
+            rounds=0,
+            correct_messages=0,
+            correct_bits=0,
+            peak_message_bits=0,
+            byzantine=(),
+            report=report,
+            failed=True,
+            error=message,
+        )
 
     @property
     def max_name(self) -> int:
@@ -145,6 +185,8 @@ class ExperimentSummary:
             "byzantine": list(self.byzantine),
             "settled_round": self.settled_round,
             "elapsed_s": self.elapsed_s,
+            "failed": self.failed,
+            "error": self.error,
             "report": {
                 "names": {str(k): v for k, v in report.names.items()},
                 "namespace": report.namespace,
@@ -153,6 +195,8 @@ class ExperimentSummary:
                 "uniqueness": report.uniqueness,
                 "order_preservation": report.order_preservation,
                 "violations": list(report.violations),
+                "beyond_model": report.beyond_model,
+                "injected": dict(report.injected),
             },
         }
 
@@ -174,6 +218,8 @@ class ExperimentSummary:
             byzantine=tuple(payload["byzantine"]),
             settled_round=payload["settled_round"],
             elapsed_s=payload["elapsed_s"],
+            failed=payload.get("failed", False),
+            error=payload.get("error"),
             report=PropertyReport(
                 names={int(k): v for k, v in report["names"].items()},
                 namespace=report["namespace"],
@@ -182,6 +228,8 @@ class ExperimentSummary:
                 uniqueness=report["uniqueness"],
                 order_preservation=report["order_preservation"],
                 violations=list(report["violations"]),
+                beyond_model=report.get("beyond_model", False),
+                injected=dict(report.get("injected", {})),
             ),
         )
 
@@ -241,21 +289,33 @@ def execute_task(task: RunTask) -> ExperimentSummary:
     )
 
 
+def _summary_checksum(body: dict) -> str:
+    """Content checksum of a summary payload (canonical JSON, SHA-256)."""
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 class ResultCache:
     """On-disk memo of finished sweep cells, one JSON file per configuration.
 
     Keys are SHA-256 hashes of the full :class:`RunTask` plus a schema
     version, so any knob that could change the outcome (algorithm, size,
     attack, seed, workload, round cap, tracing, engine) misses cleanly, and
-    schema bumps invalidate everything at once. Corrupt or unreadable entries
-    are treated as misses, never as errors.
+    schema bumps invalidate everything at once.
+
+    Entries are checksummed envelopes ``{"schema", "checksum", "summary"}``:
+    :meth:`load` verifies the schema version and the SHA-256 of the summary
+    payload before trusting an entry, so a truncated write, a flipped bit or
+    a stale-schema file is *logged and recomputed* — treated as a miss, never
+    as an error and never as silently-wrong data. Failed summaries
+    (:attr:`ExperimentSummary.failed`) are refused by :meth:`store`.
 
     The engine is part of the key even though both engines are proven to
     produce identical summaries: a cache hit must never mask an engine
     divergence that the differential suite would have caught.
     """
 
-    SCHEMA = 2
+    SCHEMA = 3
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
@@ -283,21 +343,54 @@ class ResultCache:
         return self.root / f"{self.key(task)}.json"
 
     def load(self, task: RunTask) -> Optional[ExperimentSummary]:
-        """Return the cached summary for ``task``, or ``None`` on a miss."""
+        """Return the cached summary for ``task``, or ``None`` on a miss.
+
+        A present-but-unusable entry (corrupt JSON, truncated write, bad
+        checksum, stale schema) is logged and treated as a miss so the
+        configuration is recomputed.
+        """
         path = self._path(task)
         try:
-            payload = json.loads(path.read_text())
-            summary = ExperimentSummary.from_dict(payload)
-        except (OSError, ValueError, KeyError, TypeError):
+            text = path.read_text()
+        except OSError:
+            return None  # plain miss: no entry
+        try:
+            payload = json.loads(text)
+            if not isinstance(payload, dict):
+                raise ValueError(f"entry is {type(payload).__name__}, not an object")
+            schema = payload.get("schema")
+            if schema != self.SCHEMA:
+                raise ValueError(f"stale schema {schema!r} (current {self.SCHEMA})")
+            body = payload["summary"]
+            checksum = payload.get("checksum")
+            if checksum != _summary_checksum(body):
+                raise ValueError("checksum mismatch (corrupt or tampered entry)")
+            summary = ExperimentSummary.from_dict(body)
+        except (ValueError, KeyError, TypeError) as exc:
+            logger.warning(
+                "discarding unusable cache entry %s (%s); recomputing", path.name, exc
+            )
             return None
         summary.cached = True
         return summary
 
     def store(self, task: RunTask, summary: ExperimentSummary) -> None:
-        """Persist ``summary`` under ``task``'s key (atomic rename)."""
+        """Persist ``summary`` under ``task``'s key (atomic rename).
+
+        Failed summaries are never cached: a transient worker failure must
+        not poison future sweeps.
+        """
+        if summary.failed:
+            return
+        body = summary.to_dict()
+        payload = {
+            "schema": self.SCHEMA,
+            "checksum": _summary_checksum(body),
+            "summary": body,
+        }
         path = self._path(task)
         tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(summary.to_dict()))
+        tmp.write_text(json.dumps(payload))
         tmp.replace(path)
 
 
@@ -308,6 +401,11 @@ class SweepStats:
     executed: int = 0
     from_cache: int = 0
     elapsed_s: float = 0.0
+    #: Configurations whose first attempt raised and were retried.
+    retried: int = 0
+    #: Configurations that failed even after the retry (their rows carry
+    #: ``failed=True`` — they are reported, not dropped).
+    failed: int = 0
 
 
 class SweepExecutor:
@@ -371,15 +469,7 @@ class SweepExecutor:
             for _, task in misses:
                 self.run_hook(task)
 
-        if self.workers == 1 or len(misses) <= 1:
-            for index, task in misses:
-                results[index] = execute_task(task)
-        else:
-            pool_size = min(self.workers, len(misses))
-            with ProcessPoolExecutor(max_workers=pool_size) as pool:
-                ordered = pool.map(execute_task, [task for _, task in misses])
-                for (index, task), summary in zip(misses, ordered):
-                    results[index] = summary
+        retried, failed = self._run_misses(misses, results)
 
         if self.cache is not None:
             for index, task in misses:
@@ -389,8 +479,82 @@ class SweepExecutor:
             executed=len(misses),
             from_cache=from_cache,
             elapsed_s=time.perf_counter() - start,
+            retried=retried,
+            failed=failed,
         )
         return results  # type: ignore[return-value]
+
+    def _run_misses(
+        self,
+        misses: List[Tuple[int, RunTask]],
+        results: List[Optional[ExperimentSummary]],
+    ) -> Tuple[int, int]:
+        """Execute the cache misses, surviving worker failures.
+
+        A task whose attempt raises is retried exactly once; a second failure
+        records an :meth:`ExperimentSummary.for_failure` row at the task's
+        index and the sweep continues — one bad configuration never aborts
+        the grid. Returns ``(retried, failed)`` counts.
+        """
+        if self.workers == 1 or len(misses) <= 1:
+            first_failures = self._run_serial(misses, results)
+        else:
+            first_failures = self._run_pool(misses, results)
+
+        failed = 0
+        for index, task, error in first_failures:
+            logger.warning(
+                "sweep cell %s raised %s: %s; retrying once",
+                task,
+                type(error).__name__,
+                error,
+            )
+            try:
+                results[index] = execute_task(task)
+            except Exception as retry_error:  # noqa: BLE001 — recorded, not hidden
+                logger.error(
+                    "sweep cell %s failed again (%s: %s); recording as failed",
+                    task,
+                    type(retry_error).__name__,
+                    retry_error,
+                )
+                results[index] = ExperimentSummary.for_failure(task, retry_error)
+                failed += 1
+        return len(first_failures), failed
+
+    @staticmethod
+    def _run_serial(
+        misses: List[Tuple[int, RunTask]],
+        results: List[Optional[ExperimentSummary]],
+    ) -> List[Tuple[int, RunTask, BaseException]]:
+        failures: List[Tuple[int, RunTask, BaseException]] = []
+        for index, task in misses:
+            try:
+                results[index] = execute_task(task)
+            except Exception as error:  # noqa: BLE001 — retried by caller
+                failures.append((index, task, error))
+        return failures
+
+    def _run_pool(
+        self,
+        misses: List[Tuple[int, RunTask]],
+        results: List[Optional[ExperimentSummary]],
+    ) -> List[Tuple[int, RunTask, BaseException]]:
+        failures: List[Tuple[int, RunTask, BaseException]] = []
+        pool_size = min(self.workers, len(misses))
+        with ProcessPoolExecutor(max_workers=pool_size) as pool:
+            futures = {
+                pool.submit(execute_task, task): (index, task)
+                for index, task in misses
+            }
+            for future in as_completed(futures):
+                index, task = futures[future]
+                try:
+                    results[index] = future.result()
+                except Exception as error:  # noqa: BLE001 — retried by caller
+                    failures.append((index, task, error))
+        failures.sort(key=lambda item: item[0])
+        return failures
 
 
 def _call_star(item: Tuple[Callable, tuple]):

@@ -31,7 +31,14 @@ from ..core import (
     SystemParams,
     TwoStepRenaming,
 )
-from ..sim import DEFAULT_ENGINE, ConfigurationError, RunResult, run_protocol
+from ..sim import (
+    DEFAULT_ENGINE,
+    ConfigurationError,
+    FaultPlan,
+    RunResult,
+    SafetyPolicy,
+    run_protocol,
+)
 from ..sim.process import ProcessContext
 from .properties import PropertyReport, check_renaming
 
@@ -52,6 +59,9 @@ class AlgorithmSpec:
     order_preserving: bool
     attacks: Sequence[str]
     regime: Callable[[SystemParams], bool] = lambda params: True
+    #: Proven worst-case round bound (the safety monitor's watchdog budget);
+    #: ``None`` where the paper/baseline proves no closed-form bound.
+    round_budget: Optional[Callable[[SystemParams], int]] = None
 
     def supports(self, n: int, t: int) -> bool:
         """True when (n, t) satisfies the algorithm's resilience condition."""
@@ -70,6 +80,7 @@ ALGORITHMS: Dict[str, AlgorithmSpec] = {
         order_preserving=True,
         attacks=ALG1_ATTACKS,
         regime=lambda p: p.tolerates_byzantine,
+        round_budget=lambda p: p.total_rounds,
     ),
     "alg1-constant": AlgorithmSpec(
         name="alg1-constant",
@@ -78,6 +89,7 @@ ALGORITHMS: Dict[str, AlgorithmSpec] = {
         order_preserving=True,
         attacks=ALG1_ATTACKS,
         regime=lambda p: p.in_constant_time_regime,
+        round_budget=lambda p: p.constant_time_total_rounds,
     ),
     "alg4": AlgorithmSpec(
         name="alg4",
@@ -86,6 +98,7 @@ ALGORITHMS: Dict[str, AlgorithmSpec] = {
         order_preserving=True,
         attacks=ALG4_ATTACKS,
         regime=lambda p: p.in_fast_regime,
+        round_budget=lambda p: 2,
     ),
     "okun-crash": AlgorithmSpec(
         name="okun-crash",
@@ -161,6 +174,9 @@ def run_experiment(
     namespace: Optional[int] = None,
     max_rounds: int = 1000,
     engine: str = DEFAULT_ENGINE,
+    enforce_regime: bool = True,
+    monitor: bool = False,
+    chaos: Optional[FaultPlan] = None,
 ) -> ExperimentRecord:
     """Execute one configuration and judge it.
 
@@ -175,6 +191,21 @@ def run_experiment(
     pairings silently, but a direct caller asking for a meaningless
     combination (e.g. a rank attack against a crash baseline) is a
     misconfiguration, not a measurement.
+
+    ``enforce_regime=True`` (the default) raises
+    :class:`~repro.sim.errors.ConfigurationError` when ``(n, t)`` falls
+    outside the algorithm's proven resilience regime — the uniform typed
+    answer for beyond-threshold configurations. Pass ``False`` to run the
+    algorithm beyond its model anyway (chaos campaigns do, to observe
+    *which* property breaks; note some constructors still refuse on their
+    own).
+
+    ``monitor=True`` attaches a :class:`~repro.sim.monitor.SafetyMonitor`
+    that aborts the run with a typed
+    :class:`~repro.sim.errors.SafetyViolation` the moment validity or
+    uniqueness breaks or the algorithm exceeds its proven round budget
+    (:attr:`AlgorithmSpec.round_budget`). ``chaos`` injects a beyond-model
+    :class:`~repro.sim.chaos.FaultPlan` (see :mod:`repro.sim.chaos`).
     """
     spec = ALGORITHMS[algorithm]
     if attack not in spec.attacks:
@@ -184,8 +215,18 @@ def run_experiment(
             f"valid attacks: {valid}"
         )
     params = SystemParams(n, t)
+    if enforce_regime and not spec.regime(params):
+        raise ConfigurationError(
+            f"{algorithm!r} is outside its proven resilience regime at "
+            f"n={n}, t={t}; pass enforce_regime=False to run beyond the model"
+        )
     factory = spec.build_factory(n, t, ids, seed)
     adversary = make_adversary(attack) if t > 0 else None
+    bound = spec.namespace(params) if namespace is None else namespace
+    safety = None
+    if monitor:
+        budget = spec.round_budget(params) if spec.round_budget is not None else None
+        safety = SafetyPolicy(namespace=bound, round_budget=budget)
     result = run_protocol(
         factory,
         n=n,
@@ -196,8 +237,9 @@ def run_experiment(
         collect_trace=collect_trace,
         max_rounds=max_rounds,
         engine=engine,
+        chaos=chaos,
+        safety=safety,
     )
-    bound = spec.namespace(params) if namespace is None else namespace
     report = check_renaming(result, bound)
     return ExperimentRecord(
         algorithm=algorithm,

@@ -4,12 +4,19 @@ Every experiment and test funnels run outputs through
 :func:`check_renaming`, which evaluates the four properties of the problem
 definition against a run's outputs and reports precise violations — so a
 failing property names the offending ids and names instead of a bare False.
+
+Chaos awareness: when the run carried a beyond-model fault plan
+(:attr:`~repro.sim.runner.RunResult.chaos` is set and injected anything),
+the report records ``beyond_model=True`` plus the injected-fault counters,
+and :meth:`PropertyReport.classification` maps each broken property to the
+fault families that were active — the post-hoc half of the safety story
+(the in-run half is :class:`~repro.sim.monitor.SafetyMonitor`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from ..sim.runner import RunResult
 
@@ -25,6 +32,12 @@ class PropertyReport:
     uniqueness: bool = True
     order_preservation: bool = True
     violations: List[str] = field(default_factory=list)
+    #: True when the checked run injected beyond-model faults (its
+    #: :class:`~repro.sim.chaos.ChaosReport` recorded at least one event).
+    beyond_model: bool = False
+    #: Injected-fault counters from the run's chaos report (empty when the
+    #: run was clean).
+    injected: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -41,10 +54,34 @@ class PropertyReport:
         (baselines like [15] do not promise order preservation)."""
         return self.validity and self.termination and self.uniqueness
 
+    @property
+    def broken(self) -> Tuple[str, ...]:
+        """Names of the properties that failed, in specification order."""
+        out = []
+        if not self.validity:
+            out.append("validity")
+        if not self.termination:
+            out.append("termination")
+        if not self.uniqueness:
+            out.append("uniqueness")
+        if not self.order_preservation:
+            out.append("order_preservation")
+        return tuple(out)
+
+    def classification(self) -> Dict[str, Tuple[str, ...]]:
+        """Post-hoc triage: each broken property → active fault families.
+
+        For a clean run the fault-family tuple is empty — a broken property
+        with no injected fault is an algorithm bug, not a chaos finding.
+        """
+        active = tuple(label for label, count in sorted(self.injected.items()) if count)
+        return {prop: active for prop in self.broken}
+
     def __str__(self) -> str:
+        prefix = "[beyond-model] " if self.beyond_model else ""
         if self.ok:
-            return f"OK (names in [1..{self.namespace}])"
-        return "; ".join(self.violations)
+            return f"{prefix}OK (names in [1..{self.namespace}])"
+        return prefix + "; ".join(self.violations)
 
 
 def check_renaming(
@@ -55,19 +92,53 @@ def check_renaming(
     ``namespace`` is the target namespace size ``M`` the algorithm promises.
     ``expected_count`` defaults to the number of correct processes and exists
     for tests that deliberately run partial populations.
+
+    Unlike :meth:`RunResult.new_names`, this never raises on malformed
+    outputs: a non-integer output is a *validity* violation (the process
+    emitted something that is not a name), an absent/``None`` output is a
+    *termination* violation — both land in the report instead of escaping as
+    ``TypeError``, so chaos campaigns can triage every run.
     """
-    names = result.new_names()
+    outputs_by_id = getattr(result, "outputs_by_id", None)
+    outputs = outputs_by_id() if outputs_by_id is not None else result.new_names()
+    names: Dict[int, int] = {}
+    malformed: Dict[int, object] = {}
+    for original, output in outputs.items():
+        if output is None:
+            continue  # undecided — counted by the termination check below
+        if isinstance(output, bool) or not isinstance(output, int):
+            malformed[original] = output
+        else:
+            names[original] = output
+
     report = PropertyReport(names=names, namespace=namespace)
+    chaos = getattr(result, "chaos", None)
+    if chaos is not None and chaos.injected:
+        report.beyond_model = True
+        counters = {
+            "drop": chaos.dropped,
+            "duplicate": chaos.duplicated,
+            "corrupt": chaos.corrupted + chaos.corrupted_dropped,
+            "crash": len(chaos.crash_engaged),
+        }
+        report.injected = {k: v for k, v in counters.items() if v}
+
+    for original, output in sorted(malformed.items()):
+        report.validity = False
+        report.violations.append(
+            f"validity: id {original} output {output!r} is not an integer name"
+        )
 
     expected = len(result.correct) if expected_count is None else expected_count
-    if len(names) != expected:
+    decided = len(names) + len(malformed)
+    if decided != expected:
         report.termination = False
         report.violations.append(
-            f"termination: {len(names)} of {expected} correct processes decided"
+            f"termination: {decided} of {expected} correct processes decided"
         )
 
     for original, name in sorted(names.items()):
-        if not isinstance(name, int) or not 1 <= name <= namespace:
+        if not 1 <= name <= namespace:
             report.validity = False
             report.violations.append(
                 f"validity: id {original} got name {name!r} outside [1..{namespace}]"

@@ -32,6 +32,7 @@ from ..core.approximation import approximate, nearest_int
 from ..core.messages import EchoMessage, IdMessage, Rank, RanksMessage
 from ..core.params import SystemParams
 from ..core.validation import is_sound_id, is_sound_vote, is_valid_ranks
+from ..sim.errors import SafetyViolation
 from ..sim.process import Inbox, Outbox, Process, ProcessContext
 
 #: Id-exchange rounds before voting starts.
@@ -98,7 +99,20 @@ class OkunCrashRenaming(Process):
         else:
             self._voting_step(round_no, inbox)
             if round_no == self.total_rounds:
-                self.output_value = nearest_int(self.ranks[self.ctx.my_id])
+                own_rank = self.ranks.get(self.ctx.my_id)
+                if own_rank is None:
+                    # In the crash model the own id is always timely (the
+                    # self-loop is reliable) and δ-validation keeps it in
+                    # every accepted vote; only beyond-model message loss
+                    # can fold it out of the rank vector.
+                    raise SafetyViolation(
+                        f"own id {self.ctx.my_id} lost from the rank vector"
+                        " — cannot happen in the crash model",
+                        violated="invariant",
+                        round_no=round_no,
+                        ids=(self.ctx.my_id,),
+                    )
+                self.output_value = nearest_int(own_rank)
 
     # ------------------------------------------------------------- phase logic
 

@@ -41,6 +41,7 @@ from ..core.id_selection import (
     IdSelectionResult,
 )
 from ..sim.compose import Phase, PhaseContext, PhaseSequence
+from ..sim.errors import ConfigurationError
 from ..sim.messages import Message
 from ..sim.process import Inbox, ProcessContext, ordered_links
 from .splitting import ClaimMessage, IntervalSplitter, interval_rounds
@@ -125,7 +126,7 @@ class TranslatedByzantineRenaming(PhaseSequence):
 
     def __init__(self, ctx: ProcessContext, extra_rounds: Optional[int] = None) -> None:
         if ctx.n <= 3 * ctx.t:
-            raise ValueError(
+            raise ConfigurationError(
                 f"translated renaming requires N > 3t (n={ctx.n}, t={ctx.t})"
             )
         self.namespace = 2 * ctx.n

@@ -19,8 +19,11 @@ from typing import List, Optional, Tuple
 from .adversary import adversary_names
 from .analysis import (
     ALGORITHMS,
+    CHAOS_PRESETS,
+    ChaosCampaign,
     SweepConfig,
     SweepExecutor,
+    chaos_grid,
     format_table,
     group_by,
     render_timeline,
@@ -120,6 +123,55 @@ def build_parser() -> argparse.ArgumentParser:
         "replay", help="re-render the timeline of an archived run"
     )
     replay.add_argument("path", help="JSON archive written by inspect --save")
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="run a crash-contained beyond-model fault-injection campaign",
+    )
+    chaos.add_argument("--algorithms", nargs="+", required=True,
+                       choices=sorted(ALGORITHMS))
+    chaos.add_argument("--sizes", nargs="+", type=_parse_size, required=True,
+                       metavar="N:T")
+    chaos.add_argument("--attacks", nargs="+", default=["silent"],
+                       choices=adversary_names())
+    chaos.add_argument("--seeds", nargs="+", type=int, default=[0])
+    chaos.add_argument("--engines", nargs="+", default=[DEFAULT_ENGINE],
+                       choices=engine_names())
+    chaos.add_argument("--chaos-seeds", nargs="+", type=int, default=[0],
+                       help="seeds for the fault plans (independent of run seeds)")
+    chaos.add_argument("--drop", nargs="+", type=float, default=[],
+                       metavar="P", help="per-link drop probabilities to try")
+    chaos.add_argument("--duplicate", nargs="+", type=float, default=[],
+                       metavar="P", help="per-link duplication probabilities to try")
+    chaos.add_argument("--corrupt", nargs="+", type=float, default=[],
+                       metavar="P", help="per-link payload-corruption probabilities")
+    chaos.add_argument("--crash-extra", nargs="+", type=int, default=[],
+                       metavar="K", help="extra correct-process send-crashes "
+                       "(beyond the t budget) to try")
+    chaos.add_argument("--crash-round", type=int, default=1,
+                       help="round at which extra crashes engage")
+    chaos.add_argument("--combine", action="store_true",
+                       help="merge one value per fault axis into a single "
+                       "combined plan (used by quarantine reproducers)")
+    chaos.add_argument("--preset", choices=sorted(CHAOS_PRESETS), default=None,
+                       help="named fault-axis bundle (overridden by explicit "
+                       "fault flags)")
+    chaos.add_argument("--no-clean", action="store_true",
+                       help="skip the no-fault control cell per configuration")
+    chaos.add_argument("--no-monitor", action="store_true",
+                       help="disable the in-run safety monitor (post-hoc "
+                       "property checks still run)")
+    chaos.add_argument("--max-rounds", type=int, default=64,
+                       help="hard round cap per run (chaos runs must never spin)")
+    chaos.add_argument("--workload", default="uniform", choices=workload_names())
+    chaos.add_argument(
+        "--workers", type=_parse_workers, default=None, metavar="N",
+        help="worker processes (default: one per CPU; 1 = serial in-process)",
+    )
+    chaos.add_argument("--timeout", type=float, default=120.0, metavar="S",
+                       help="per-cycle hang timeout in seconds")
+    chaos.add_argument("--json", metavar="PATH", default=None,
+                       help="also write the full triage report as JSON to PATH")
 
     sweep = commands.add_parser("sweep", help="run a configuration grid")
     sweep.add_argument("--algorithms", nargs="+", required=True, choices=sorted(ALGORITHMS))
@@ -290,6 +342,49 @@ def cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    fault_axes = {
+        "drop": tuple(args.drop),
+        "duplicate": tuple(args.duplicate),
+        "corrupt": tuple(args.corrupt),
+        "extra_crashes": tuple(args.crash_extra),
+    }
+    if args.preset is not None and not any(fault_axes.values()):
+        fault_axes = {
+            axis: tuple(values)
+            for axis, values in CHAOS_PRESETS[args.preset].items()
+        }
+    tasks = chaos_grid(
+        args.algorithms,
+        args.sizes,
+        attacks=args.attacks,
+        seeds=args.seeds,
+        engines=args.engines,
+        chaos_seeds=args.chaos_seeds,
+        crash_round=args.crash_round,
+        combine=args.combine,
+        include_clean=not args.no_clean,
+        workload=args.workload,
+        max_rounds=args.max_rounds,
+        monitor=not args.no_monitor,
+        **fault_axes,
+    )
+    if not tasks:
+        print("error: empty campaign grid", file=sys.stderr)
+        return 2
+    campaign = ChaosCampaign(workers=args.workers, timeout_s=args.timeout)
+    report = campaign.run(tasks)
+    print(report.render())
+    if args.json is not None:
+        import json
+        from pathlib import Path
+
+        path = Path(args.json)
+        path.write_text(json.dumps(report.to_json(), indent=2))
+        print(f"\ntriage report written to {path}")
+    return 0 if report.ok else 1
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     config = SweepConfig(
         algorithms=args.algorithms,
@@ -370,6 +465,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return cmd_replay(args)
     if args.command == "sweep":
         return cmd_sweep(args)
+    if args.command == "chaos":
+        return cmd_chaos(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

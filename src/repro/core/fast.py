@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
 from ..sim.compose import Phase, PhaseContext, PhaseSequence
+from ..sim.errors import SafetyViolation
 from ..sim.process import Inbox, ProcessContext, ordered_links
 from .messages import IdMessage, Message, MultiEchoMessage
 from .params import SystemParams
@@ -133,9 +134,11 @@ class TwoStepPhase(Phase):
             accumulated += offset
             self.new_names[identifier] = accumulated
         if self._ctx.my_id not in self.new_names:
-            raise RuntimeError(
+            raise SafetyViolation(
                 f"own id {self._ctx.my_id} received no echoes — impossible for "
-                f"a correct process when N > 2t² + t"
+                f"a correct process when N > 2t² + t",
+                violated="invariant",
+                ids=(self._ctx.my_id,),
             )
         self._name = self.new_names[self._ctx.my_id]
         self._ctx.log(TWO_STEP_ROUNDS, "decided", self._name)

@@ -14,6 +14,8 @@ import math
 from dataclasses import dataclass
 from fractions import Fraction
 
+from ..sim.errors import ConfigurationError
+
 
 @dataclass(frozen=True)
 class SystemParams:
@@ -185,20 +187,20 @@ class SystemParams:
     def require_byzantine_resilience(self) -> None:
         """Raise unless ``N > 3t`` (Alg. 1's requirement)."""
         if not self.tolerates_byzantine:
-            raise ValueError(
+            raise ConfigurationError(
                 f"Alg. 1 requires N > 3t, got N={self.n}, t={self.t}"
             )
 
     def require_constant_time_regime(self) -> None:
         """Raise unless ``N > t² + 2t`` (constant-time variant's requirement)."""
         if not self.in_constant_time_regime:
-            raise ValueError(
+            raise ConfigurationError(
                 f"constant-time renaming requires N > t^2 + 2t, got N={self.n}, t={self.t}"
             )
 
     def require_fast_regime(self) -> None:
         """Raise unless ``N > 2t² + t`` (Alg. 4's requirement)."""
         if not self.in_fast_regime:
-            raise ValueError(
+            raise ConfigurationError(
                 f"2-step renaming requires N > 2t^2 + t, got N={self.n}, t={self.t}"
             )

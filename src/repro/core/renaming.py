@@ -30,6 +30,7 @@ from fractions import Fraction
 from typing import Dict, List, Mapping, Optional, Set
 
 from ..sim.compose import Phase, PhaseContext, PhaseSequence
+from ..sim.errors import SafetyViolation
 from ..sim.process import Inbox, ProcessContext, ordered_links
 from .approximation import approximate, nearest_int
 from .id_selection import ID_SELECTION_STEPS, IdSelectionPhase, IdSelectionResult
@@ -121,10 +122,13 @@ class VotingPhase(Phase):
         self.accepted: Set[int] = set(selection.accepted)
         if ctx.my_id not in self.accepted:
             # Impossible for a correct process when N > 3t (Lemma IV.2);
-            # reachable only under misconfiguration, so fail loudly.
-            raise RuntimeError(
+            # reachable only when the model is violated, so fail loudly
+            # and typed.
+            raise SafetyViolation(
                 f"correct id {ctx.my_id} missing from accepted set "
-                f"(n={ctx.n}, t={ctx.t})"
+                f"(n={ctx.n}, t={ctx.t})",
+                violated="invariant",
+                ids=(ctx.my_id,),
             )
         self.ranks: Dict[int, Rank] = {
             identifier: position * self.delta
@@ -208,9 +212,11 @@ class VotingPhase(Phase):
     def _decide(self) -> None:
         """Line 36–37: output the rounded rank of the own id."""
         if self._ctx.my_id not in self.ranks:
-            raise RuntimeError(
+            raise SafetyViolation(
                 f"rank for own id {self._ctx.my_id} was discarded — "
-                "cannot happen for a correct process when N > 3t"
+                "cannot happen for a correct process when N > 3t",
+                violated="invariant",
+                ids=(self._ctx.my_id,),
             )
         self._name = nearest_int(self.ranks[self._ctx.my_id])
         self._ctx.log(self.steps, "decided", self._name)

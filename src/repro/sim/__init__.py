@@ -21,6 +21,7 @@ Public surface:
 * :class:`RunMetrics`, :class:`TraceRecorder` — observability.
 """
 
+from .chaos import ChaosInjector, ChaosReport, FaultPlan
 from .compose import (
     EnvelopeMessage,
     Multiplexer,
@@ -42,11 +43,13 @@ from .errors import (
     ConfigurationError,
     ProtocolViolationError,
     RoundLimitExceeded,
+    SafetyViolation,
     SimulationError,
 )
 from .faults import Adversary, AdversaryContext, NullAdversary, split_fault_slots
 from .messages import KIND_BITS, Message, int_bits, total_bits
 from .metrics import RoundMetrics, RunMetrics
+from .monitor import SafetyMonitor, SafetyPolicy
 from .network import Delivery, SynchronousNetwork
 from .process import (
     BROADCAST,
@@ -67,12 +70,15 @@ __all__ = [
     "AdversaryContext",
     "BROADCAST",
     "BatchedEngine",
+    "ChaosInjector",
+    "ChaosReport",
     "ConfigurationError",
     "DEFAULT_ENGINE",
     "Delivery",
     "ENGINES",
     "Engine",
     "EnvelopeMessage",
+    "FaultPlan",
     "FullMeshTopology",
     "Inbox",
     "KIND_BITS",
@@ -93,6 +99,9 @@ __all__ = [
     "RoundMetrics",
     "RunMetrics",
     "RunResult",
+    "SafetyMonitor",
+    "SafetyPolicy",
+    "SafetyViolation",
     "SimulationError",
     "SynchronousNetwork",
     "TraceEvent",

@@ -26,17 +26,27 @@ Both engines honour two opt-in collection knobs: tracing costs nothing
 unless a :class:`~repro.sim.trace.TraceRecorder` was attached at setup, and
 ``collect_metrics=False`` skips all traffic accounting (round count is
 always maintained — it is load-bearing for every caller).
+
+They also share two opt-in robustness hooks, wired at identical points of
+the round loop so the behavioural contract extends to them: a
+:class:`~repro.sim.chaos.ChaosInjector` perturbs outboxes between adversary
+selection and routing (beyond-model fault injection), and a
+:class:`~repro.sim.monitor.SafetyMonitor` checks the round budget at round
+start and every emitted name after delivery. Both are ``None`` by default
+and add zero work when absent.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from .chaos import ChaosInjector
 from .errors import ConfigurationError, ProtocolViolationError, RoundLimitExceeded
 from .faults import Adversary
 from .messages import Message
 from .metrics import RunMetrics
+from .monitor import SafetyMonitor
 from .network import SynchronousNetwork
 from .process import BROADCAST, Inbox, Outbox, Process
 
@@ -91,10 +101,20 @@ class Engine(ABC):
         through_wire: bool = False,
         max_rounds: int = 1000,
         collect_metrics: bool = True,
+        chaos: Optional[ChaosInjector] = None,
+        monitor: Optional[SafetyMonitor] = None,
     ) -> None:
         """Run rounds until every correct process is done.
 
         Raises :class:`RoundLimitExceeded` if ``max_rounds`` fires first.
+
+        ``chaos`` (a bound :class:`~repro.sim.chaos.ChaosInjector`) perturbs
+        each round's outboxes between collection and routing; ``monitor`` (a
+        :class:`~repro.sim.monitor.SafetyMonitor`) checks round budgets and
+        emitted names, raising :class:`~repro.sim.errors.SafetyViolation` on
+        the first breach. Both default to ``None`` and cost nothing when
+        absent; both are engine-independent, so the cross-engine behavioural
+        contract extends to chaotic and monitored runs.
         """
 
 
@@ -114,12 +134,16 @@ class ReferenceEngine(Engine):
         through_wire: bool = False,
         max_rounds: int = 1000,
         collect_metrics: bool = True,
+        chaos: Optional[ChaosInjector] = None,
+        monitor: Optional[SafetyMonitor] = None,
     ) -> None:
         byz_set = set(byzantine)
         for round_no in range(1, max_rounds + 1):
             pending = [i for i, p in processes.items() if not p.done]
             if not pending:
                 break
+            if monitor is not None:
+                monitor.begin_round(round_no)
             record = metrics.begin_round(round_no)
 
             correct_outboxes: Dict[int, Outbox] = {
@@ -136,6 +160,10 @@ class ReferenceEngine(Engine):
                     raise ConfigurationError(
                         f"adversary tried to send as correct process {index}"
                     )
+            if chaos is not None:
+                correct_outboxes, byz_outboxes = chaos.perturb(
+                    round_no, correct_outboxes, byz_outboxes
+                )
 
             all_outboxes: Dict[int, Outbox] = dict(correct_outboxes)
             all_outboxes.update(byz_outboxes)
@@ -159,6 +187,8 @@ class ReferenceEngine(Engine):
                 links = plan.get(index)
                 inbox = network.freeze_inbox(links) if links else empty
                 processes[index].deliver(round_no, inbox)
+            if monitor is not None:
+                monitor.after_deliver(round_no, processes)
             if adversary.wants_observations:
                 byz_inboxes: Mapping[int, Inbox] = {
                     index: network.freeze_inbox(plan[index])
@@ -205,6 +235,8 @@ class BatchedEngine(Engine):
         through_wire: bool = False,
         max_rounds: int = 1000,
         collect_metrics: bool = True,
+        chaos: Optional[ChaosInjector] = None,
+        monitor: Optional[SafetyMonitor] = None,
     ) -> None:
         topology = network.topology
         n = topology.n
@@ -311,6 +343,8 @@ class BatchedEngine(Engine):
             pending = [i for i, p in processes.items() if not p.done]
             if not pending:
                 break
+            if monitor is not None:
+                monitor.begin_round(round_no)
             record = metrics.begin_round(round_no)
 
             correct_outboxes: Dict[int, Outbox] = {
@@ -327,6 +361,10 @@ class BatchedEngine(Engine):
                     raise ConfigurationError(
                         f"adversary tried to send as correct process {index}"
                     )
+            if chaos is not None:
+                correct_outboxes, byz_outboxes = chaos.perturb(
+                    round_no, correct_outboxes, byz_outboxes
+                )
 
             for index, outbox in correct_outboxes.items():
                 route(index, outbox, count_correct=True)
@@ -347,6 +385,8 @@ class BatchedEngine(Engine):
                 else:
                     inbox = empty
                 processes[index].deliver(round_no, inbox)
+            if monitor is not None:
+                monitor.after_deliver(round_no, processes)
             if adversary.wants_observations:
                 byz_inboxes: Dict[int, Inbox] = {}
                 for index in byzantine:

@@ -12,11 +12,15 @@ class SimulationError(Exception):
     """Base class for every error raised by :mod:`repro.sim`."""
 
 
-class ConfigurationError(SimulationError):
+class ConfigurationError(SimulationError, ValueError):
     """An experiment was configured inconsistently.
 
     Examples: ``t >= N``, duplicate original ids, a fault threshold that the
     algorithm under test rejects, or an adversary bound to the wrong network.
+
+    Also a :class:`ValueError`: resilience preconditions used to raise bare
+    ``ValueError`` from algorithm constructors, and callers written against
+    that contract keep working while new code can catch the typed hierarchy.
     """
 
 
@@ -37,3 +41,54 @@ class RoundLimitExceeded(SimulationError):
     Synchronous algorithms have a closed-form round bound, so hitting this is
     always a bug in the protocol, the bound, or a deliberately truncated run.
     """
+
+
+def _rebuild_safety_violation(message, violated, round_no, ids, trace_pointer):
+    return SafetyViolation(
+        message,
+        violated=violated,
+        round_no=round_no,
+        ids=ids,
+        trace_pointer=trace_pointer,
+    )
+
+
+class SafetyViolation(SimulationError):
+    """A runtime safety monitor aborted the run (see :mod:`repro.sim.monitor`).
+
+    Raised *during* execution — instead of hanging until ``max_rounds`` or
+    returning garbage output — when a run violates a property the algorithm
+    proves: a name outside the promised namespace, a name claimed twice, or
+    a round count beyond the proven bound. Carries structured context:
+
+    * :attr:`violated` — which property broke (``"validity"``,
+      ``"uniqueness"``, ``"round-budget"``);
+    * :attr:`round_no` — the round in which the violation surfaced;
+    * :attr:`ids` — the original ids involved (empty for the watchdog);
+    * :attr:`trace_pointer` — number of trace events recorded when the
+      violation fired (``None`` when the run was not traced), locating the
+      failure inside an archived timeline.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        violated: str = "safety",
+        round_no: int = 0,
+        ids=(),
+        trace_pointer=None,
+    ) -> None:
+        super().__init__(message)
+        self.violated = violated
+        self.round_no = round_no
+        self.ids = tuple(ids)
+        self.trace_pointer = trace_pointer
+
+    def __reduce__(self):
+        # Keyword-only construction breaks default exception pickling, and
+        # these exceptions must cross process-pool boundaries intact.
+        return (
+            _rebuild_safety_violation,
+            (str(self), self.violated, self.round_no, self.ids, self.trace_pointer),
+        )

@@ -24,11 +24,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
+from .chaos import ChaosInjector, ChaosReport, FaultPlan
 from .engine import DEFAULT_ENGINE, resolve_engine
 from .errors import ConfigurationError
 from .faults import Adversary, AdversaryContext, NullAdversary, split_fault_slots
 from .messages import int_bits
 from .metrics import RunMetrics
+from .monitor import SafetyMonitor, SafetyPolicy
 from .network import SynchronousNetwork
 from .process import Process, ProcessContext
 from .rng import derive_rng
@@ -52,6 +54,9 @@ class RunResult:
     metrics: RunMetrics
     trace: Optional[TraceRecorder]
     processes: Dict[int, Process]
+    #: What beyond-model fault injection actually did (``None`` when the run
+    #: had no chaos plan — the overwhelmingly common case).
+    chaos: Optional[ChaosReport] = None
 
     @property
     def correct(self) -> Tuple[int, ...]:
@@ -95,6 +100,8 @@ def run_protocol(
     engine: str = DEFAULT_ENGINE,
     collect_metrics: bool = True,
     topology_seed: Optional[int] = None,
+    chaos: Optional[FaultPlan] = None,
+    safety: Optional[SafetyPolicy] = None,
 ) -> RunResult:
     """Execute one synchronous run and return its :class:`RunResult`.
 
@@ -120,6 +127,15 @@ def run_protocol(
     overrides the seed used for link labelling only — metamorphic tests use
     it to relabel every link while keeping fault slots, process randomness,
     and the adversary unchanged.
+
+    ``chaos`` (a :class:`~repro.sim.chaos.FaultPlan`) injects beyond-model
+    faults — message drop/duplication/corruption, send-crashes of correct
+    processes — deterministically from the plan's own seed; an empty plan is
+    skipped entirely, so the engines' differential contract is untouched.
+    The injection record lands on :attr:`RunResult.chaos`. ``safety`` (a
+    :class:`~repro.sim.monitor.SafetyPolicy`) attaches a runtime monitor
+    that aborts property-violating or over-budget runs with a typed
+    :class:`~repro.sim.errors.SafetyViolation`.
     """
     if n < 1:
         raise ConfigurationError(f"need at least one process, got n={n}")
@@ -171,6 +187,13 @@ def run_protocol(
         )
     )
 
+    injector = None
+    if chaos is not None and not chaos.is_empty:
+        injector = ChaosInjector(chaos, n=n, byzantine=byz)
+    monitor = None
+    if safety is not None:
+        monitor = SafetyMonitor(safety, ids=id_of, trace=trace)
+
     engine_impl.execute(
         processes=processes,
         adversary=adversary,
@@ -180,6 +203,8 @@ def run_protocol(
         through_wire=through_wire,
         max_rounds=max_rounds,
         collect_metrics=collect_metrics,
+        chaos=injector,
+        monitor=monitor,
     )
 
     outputs = {i: p.output_value for i, p in processes.items()}
@@ -192,4 +217,5 @@ def run_protocol(
         metrics=metrics,
         trace=trace,
         processes=processes,
+        chaos=injector.report if injector is not None else None,
     )

@@ -231,7 +231,19 @@ def _encode_envelope(message: EnvelopeMessage, out: bytearray) -> None:
     encoder(message.payload, out)
 
 
+#: Maximum envelope-in-envelope nesting the decoder accepts. Honest runs
+#: nest at most a handful of multiplexer layers; a crafted byte stream of
+#: back-to-back envelope tags would otherwise recurse once per byte and
+#: escape as ``RecursionError`` instead of a typed :class:`WireError`.
+MAX_ENVELOPE_DEPTH = 32
+
+_envelope_depth = 0
+
+
 def _decode_envelope(data: bytes, offset: int):
+    global _envelope_depth
+    if _envelope_depth >= MAX_ENVELOPE_DEPTH:
+        raise WireError(f"envelope nesting deeper than {MAX_ENVELOPE_DEPTH}")
     tag, offset = read_varint(data, offset)
     if offset >= len(data):
         raise WireError("truncated envelope payload")
@@ -240,7 +252,11 @@ def _decode_envelope(data: bytes, offset: int):
         _cls, decoder = _BY_TAG[inner_tag]
     except KeyError:
         raise WireError(f"unknown wire tag {inner_tag} inside envelope")
-    payload, offset = decoder(data, offset + 1)
+    _envelope_depth += 1
+    try:
+        payload, offset = decoder(data, offset + 1)
+    finally:
+        _envelope_depth -= 1
     return EnvelopeMessage(tag=tag, payload=payload), offset
 
 
@@ -300,15 +316,35 @@ def encode_message(message: Message) -> bytes:
 
 
 def decode_message(data: bytes) -> Message:
-    """Deserialise one message; raises :class:`WireError` on any garbage."""
+    """Deserialise one message; raises :class:`WireError` on any garbage.
+
+    *Any* garbage: per-type decoders and message constructors may reject a
+    crafted buffer with their own ``ValueError``/``TypeError``/etc. — those
+    are wrapped here so a caller only ever has one exception type to catch
+    for a malformed byte stream.
+    """
     if not data:
         raise WireError("empty buffer")
     tag = data[0]
     try:
         _cls, decoder = _BY_TAG[tag]
     except KeyError:
-        raise WireError(f"unknown wire tag {tag}")
-    message, offset = decoder(data, 1)
+        raise WireError(f"unknown wire tag {tag}") from None
+    try:
+        message, offset = decoder(data, 1)
+    except WireError:
+        raise
+    except (
+        ValueError,
+        TypeError,
+        KeyError,
+        IndexError,
+        OverflowError,
+        RecursionError,
+    ) as exc:
+        raise WireError(
+            f"malformed {_cls.__name__} encoding: {type(exc).__name__}: {exc}"
+        ) from exc
     if offset != len(data):
         raise WireError(f"{len(data) - offset} trailing bytes")
     return message

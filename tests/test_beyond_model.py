@@ -1,0 +1,144 @@
+"""Beyond-threshold behaviour: every algorithm at n at-or-below its bound.
+
+The contract: a configuration outside an algorithm's proven regime either
+raises a *typed* error (ConfigurationError from the regime gate or the
+constructor, SafetyViolation from a tripped invariant/monitor, any other
+SimulationError from the round loop) or runs to completion and yields a
+total :class:`PropertyReport` that names exactly which property broke.
+Bare KeyError/RuntimeError/recursion escapes are harness bugs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import standard_ids
+from repro.adversary import make_adversary
+from repro.analysis import ALGORITHMS, check_renaming, run_experiment
+from repro.analysis.properties import PropertyReport
+from repro.core import (
+    OrderPreservingRenaming,
+    RenamingOptions,
+    SystemParams,
+    TwoStepRenaming,
+)
+from repro.core.fast import TwoStepOptions
+from repro.sim import ConfigurationError, SimulationError, run_protocol
+from repro.wire import WireError
+
+#: (algorithm, n, t) with n at or just below the algorithm's proven bound;
+#: every tuple violates the registered regime predicate.
+BEYOND = [
+    ("alg1", 6, 2),           # n = 3t: optimal-resilience bound N > 3t
+    ("alg1-constant", 8, 2),  # n = t^2 + 2t: constant-time bound
+    ("alg4", 10, 2),          # n = 2t^2 + t: fast-regime bound
+    ("translated", 6, 2),     # inherits N > 3t from the Byzantine translation
+    ("consensus", 6, 2),      # consensus baseline needs N > 3t
+]
+
+CASES = [
+    (algorithm, n, t, attack)
+    for algorithm, n, t in BEYOND
+    for attack in ALGORITHMS[algorithm].attacks
+]
+
+
+CASE_IDS = [f"{a}-{n}:{t}-{attack}" for a, n, t, attack in CASES]
+
+
+@pytest.mark.parametrize("algorithm,n,t,attack", CASES, ids=CASE_IDS)
+def test_regimes_are_enforced_with_a_typed_error(algorithm, n, t, attack):
+    assert not ALGORITHMS[algorithm].supports(n, t)
+    with pytest.raises(ConfigurationError, match="resilience regime"):
+        run_experiment(algorithm, n, t, standard_ids(n), attack=attack)
+
+
+@pytest.mark.parametrize("algorithm,n,t,attack", CASES, ids=CASE_IDS)
+def test_bypass_is_typed_or_yields_a_total_report(algorithm, n, t, attack):
+    """enforce_regime=False may still refuse in the constructor (typed) or
+    run beyond the model — never escape with an untyped exception."""
+    try:
+        record = run_experiment(
+            algorithm, n, t, standard_ids(n), attack=attack,
+            enforce_regime=False, monitor=True, max_rounds=64,
+        )
+    except (SimulationError, WireError):
+        return
+    report = record.report
+    assert isinstance(report, PropertyReport)
+    if not report.ok:
+        assert report.broken  # names which property failed
+        for name in report.broken:
+            assert any(v.startswith(name) for v in report.violations)
+
+
+def _run_unguarded(factory, n, t, attack, seed=0, namespace=None):
+    """Run with constructor guards off; classify the outcome."""
+    ids = standard_ids(n)
+    try:
+        result = run_protocol(
+            factory, n=n, t=t, ids=ids,
+            adversary=make_adversary(attack), seed=seed, max_rounds=64,
+        )
+    except (SimulationError, WireError) as exc:
+        return ("typed-error", exc)
+    params = SystemParams(n, t)
+    bound = namespace if namespace is not None else params.namespace_bound
+    return ("report", check_renaming(result, bound))
+
+
+@pytest.mark.parametrize("attack", ALGORITHMS["alg1"].attacks)
+@pytest.mark.parametrize("seed", range(3))
+def test_alg1_at_the_bound_with_guards_off(attack, seed):
+    factory = lambda ctx: OrderPreservingRenaming(
+        ctx, RenamingOptions(enforce_resilience=False)
+    )
+    kind, outcome = _run_unguarded(factory, 6, 2, attack, seed=seed)
+    if kind == "typed-error":
+        assert isinstance(outcome, (SimulationError, WireError))
+        return
+    assert isinstance(outcome, PropertyReport)
+    if not outcome.ok:
+        assert outcome.broken
+
+
+@pytest.mark.parametrize("attack", ALGORITHMS["alg4"].attacks)
+@pytest.mark.parametrize("seed", range(3))
+def test_alg4_at_the_bound_with_guards_off(attack, seed):
+    factory = lambda ctx: TwoStepRenaming(
+        ctx, TwoStepOptions(enforce_resilience=False)
+    )
+    kind, outcome = _run_unguarded(
+        factory, 10, 2, attack, seed=seed,
+        namespace=SystemParams(10, 2).fast_namespace_bound,
+    )
+    if kind == "typed-error":
+        assert isinstance(outcome, (SimulationError, WireError))
+        return
+    assert isinstance(outcome, PropertyReport)
+    if not outcome.ok:
+        assert outcome.broken
+
+
+def test_constructor_guards_raise_configuration_error():
+    """The old bare-ValueError guards are now typed (and still ValueErrors,
+    for callers that catch the historical type)."""
+    with pytest.raises(ConfigurationError):
+        run_protocol(OrderPreservingRenaming, n=6, t=2, ids=standard_ids(6))
+    assert issubclass(ConfigurationError, ValueError)
+    assert issubclass(ConfigurationError, SimulationError)
+
+
+def test_classification_maps_broken_properties_to_fault_families():
+    report = PropertyReport(
+        names={}, namespace=10, uniqueness=False,
+        violations=["uniqueness: name 3 assigned twice"],
+        beyond_model=True, injected={"drop": 4, "corrupt": 0},
+    )
+    assert report.broken == ("uniqueness",)
+    # Only fault families with non-zero counts are candidate causes.
+    assert report.classification() == {"uniqueness": ("drop",)}
+    assert str(report).startswith("[beyond-model] ")
+    # Without injection a broken property is an algorithm bug: no families.
+    clean = PropertyReport(names={}, namespace=10, uniqueness=False)
+    assert clean.classification() == {"uniqueness": ()}

@@ -144,6 +144,144 @@ class TestResultCache:
         assert len(keys) == len(variants) + 1
 
 
+class _Grid:
+    """Duck-typed sweep config: hand-picked cells, no registry filtering.
+
+    Lets a test place an off-regime configuration in the grid — something
+    ``SweepConfig`` would screen out — so worker failures are real
+    exceptions crossing a real process boundary, not monkeypatched ones.
+    """
+
+    workload = "uniform"
+    collect_trace = False
+    max_rounds = 1000  # RunTask's default, so cache keys line up
+    engine = "batched"
+
+    def __init__(self, cells):
+        self.cells = list(cells)
+
+    def configurations(self):
+        return list(self.cells)
+
+
+GOOD = ("alg1", 4, 1, "silent", 0)
+BAD = ("alg1", 6, 2, "silent", 0)  # n = 3t: rejected by the regime gate
+
+
+class TestFailureContainment:
+    def test_failed_cell_is_recorded_not_fatal(self, tmp_path):
+        executor = SweepExecutor(workers=1, cache=tmp_path / "cache")
+        rows = executor.run(_Grid([GOOD, BAD, ("alg1", 5, 1, "silent", 1)]))
+        assert len(rows) == 3
+        assert [row.failed for row in rows] == [False, True, False]
+        assert "ConfigurationError" in rows[1].error
+        assert rows[1].report.violations[0].startswith("failed: ")
+        assert not rows[1].report.ok
+        assert executor.stats.retried == 1
+        assert executor.stats.failed == 1
+
+    def test_pool_failures_are_retried_in_parent_then_recorded(self, tmp_path):
+        executor = SweepExecutor(workers=2, cache=tmp_path / "cache")
+        rows = executor.run(_Grid([GOOD, BAD, ("alg1", 5, 1, "silent", 1)]))
+        assert [row.failed for row in rows] == [False, True, False]
+        assert executor.stats.retried == 1
+        assert executor.stats.failed == 1
+
+    def test_failed_rows_are_never_cached(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        SweepExecutor(workers=1, cache=cache).run(_Grid([GOOD, BAD]))
+        rerun = SweepExecutor(workers=1, cache=cache)
+        rerun.run(_Grid([GOOD, BAD]))
+        assert rerun.stats.from_cache == 1  # only the healthy cell
+        assert rerun.stats.executed == 1  # the failure re-attempts
+
+    def test_transient_failure_recovers_on_retry(self, monkeypatch):
+        import repro.analysis.executor as executor_module
+
+        real = execute_task
+        calls = []
+
+        def flaky(task):
+            calls.append(task)
+            if len(calls) == 1:
+                raise OSError("transient worker loss")
+            return real(task)
+
+        monkeypatch.setattr(executor_module, "execute_task", flaky)
+        executor = SweepExecutor(workers=1)
+        rows = executor.run(_Grid([GOOD]))
+        assert not rows[0].failed
+        assert executor.stats.retried == 1
+        assert executor.stats.failed == 0
+        assert len(calls) == 2
+
+    def test_for_failure_roundtrips_through_json(self):
+        task = RunTask(algorithm="alg1", n=6, t=2, attack="silent", seed=0)
+        summary = ExperimentSummary.for_failure(task, ValueError("bad cell"))
+        clone = ExperimentSummary.from_dict(summary.to_dict())
+        assert clone.failed
+        assert clone.error == "ValueError: bad cell"
+        assert clone.to_dict() == summary.to_dict()
+
+
+class TestCacheCorruption:
+    def _seed_entry(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        task = RunTask(algorithm="alg1", n=4, t=1, attack="silent", seed=0)
+        cache.store(task, execute_task(task))
+        assert cache.load(task) is not None
+        return cache, task
+
+    def test_bit_flip_is_a_logged_miss(self, tmp_path, caplog):
+        cache, task = self._seed_entry(tmp_path)
+        path = cache._path(task)
+        raw = bytearray(path.read_bytes())
+        target = raw.rindex(b":")  # flip inside the payload, not the key
+        raw[target + 2] ^= 0x01
+        path.write_bytes(bytes(raw))
+        import logging
+
+        with caplog.at_level(logging.WARNING, "repro.analysis.executor"):
+            assert cache.load(task) is None
+        assert any("discarding unusable cache entry" in m for m in caplog.messages)
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        cache, task = self._seed_entry(tmp_path)
+        path = cache._path(task)
+        path.write_bytes(path.read_bytes()[:40])
+        assert cache.load(task) is None
+
+    def test_stale_schema_is_a_miss(self, tmp_path):
+        import json
+
+        cache, task = self._seed_entry(tmp_path)
+        path = cache._path(task)
+        envelope = json.loads(path.read_text())
+        envelope["schema"] = ResultCache.SCHEMA - 1
+        path.write_text(json.dumps(envelope))
+        assert cache.load(task) is None
+
+    def test_checksum_mismatch_is_a_miss(self, tmp_path):
+        import json
+
+        cache, task = self._seed_entry(tmp_path)
+        path = cache._path(task)
+        envelope = json.loads(path.read_text())
+        envelope["checksum"] = "0" * 64
+        path.write_text(json.dumps(envelope))
+        assert cache.load(task) is None
+
+    def test_corrupt_entry_recovers_by_recomputing(self, tmp_path):
+        cache, task = self._seed_entry(tmp_path)
+        cache._path(task).write_text("garbage")
+        grid = _Grid([(task.algorithm, task.n, task.t, task.attack, task.seed)])
+        executor = SweepExecutor(workers=1, cache=cache)
+        rows = executor.run(grid)
+        assert executor.stats.executed == 1
+        assert not rows[0].failed
+        assert cache.load(task) is not None  # re-stored after recompute
+
+
 class TestExperimentSummary:
     def test_roundtrips_through_json_dict(self):
         task = RunTask(
