@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench smoke chaos-smoke
+.PHONY: test bench smoke chaos-smoke resume-smoke
 
 ## Tier-1: the full unit/integration suite (what CI gates on).
 test:
@@ -36,3 +36,21 @@ chaos-smoke:
 		--sizes 7:2 11:2 --seeds 0 1 --chaos-seeds 0 1 \
 		--engines batched reference --preset smoke \
 		--workers 2 --timeout 120
+
+## Durability smoke: SIGKILL a journaled ~50-cell campaign mid-flight
+## (deterministically, after the 20th finished cell becomes durable),
+## resume it, and assert via the journal's own event log that not one
+## finished cell was re-executed. The kill step exits 137 by design (the
+## leading '-' ignores it); the resume and the doctor assertion gate.
+RESUME_SMOKE_DIR := .resume-smoke
+resume-smoke:
+	rm -rf $(RESUME_SMOKE_DIR)
+	-REPRO_JOURNAL_CRASH_AFTER=finished:20 $(PYTHON) -m repro.cli chaos \
+		--algorithms alg1 --sizes 7:2 --seeds 0 1 2 3 4 5 6 7 8 9 \
+		--chaos-seeds 0 1 --drop 0.05 0.1 --workers 2 --timeout 120 \
+		--journal $(RESUME_SMOKE_DIR) --run-id smoke
+	$(PYTHON) -m repro.cli runs resume smoke --runs-dir $(RESUME_SMOKE_DIR) \
+		--workers 2
+	$(PYTHON) -m repro.cli runs doctor smoke --runs-dir $(RESUME_SMOKE_DIR) \
+		--assert-no-reexecution
+	rm -rf $(RESUME_SMOKE_DIR)

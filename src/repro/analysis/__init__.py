@@ -32,6 +32,16 @@ from .convergence import (
     spread_series,
 )
 from .export import CSV_FIELDS, export_csv, record_row
+from .journal import (
+    JournalState,
+    RunJournal,
+    atomic_write_text,
+    canonical_json,
+    config_fingerprint,
+    list_runs,
+    scan_journal,
+)
+from .supervisor import CellBudget, CellFailure, SupervisorStats, WorkerSupervisor
 from .properties import PropertyReport, check_renaming
 from .serialization import RunArchive, dump_run, load_run, run_to_dict
 from .stats import Summary, fraction_true, median_of, ratios, summarise
@@ -45,26 +55,37 @@ __all__ = [
     "AlgorithmSpec",
     "CHAOS_PRESETS",
     "CSV_FIELDS",
+    "CellBudget",
+    "CellFailure",
     "ChaosCampaign",
     "ChaosOutcome",
     "ChaosTask",
     "ClaimResult",
     "ExperimentRecord",
     "ExperimentSummary",
+    "JournalState",
     "PropertyReport",
     "ResultCache",
     "RunArchive",
+    "RunJournal",
     "RunTask",
     "Summary",
+    "SupervisorStats",
     "SweepConfig",
     "SweepExecutor",
     "SweepStats",
     "TriageReport",
+    "WorkerSupervisor",
+    "atomic_write_text",
     "banner",
     "bar_chart",
+    "canonical_json",
     "chaos_grid",
     "check_renaming",
+    "config_fingerprint",
     "execute_chaos_task",
+    "list_runs",
+    "scan_journal",
     "contraction_factors",
     "decay_ratio",
     "dump_run",

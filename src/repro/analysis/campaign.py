@@ -61,6 +61,7 @@ from ..wire import WireError
 from ..workloads.ids import make_ids
 from .executor import logger, resolve_workers
 from .experiments import run_experiment
+from .journal import RunJournal, canonical_json, config_fingerprint
 from .tables import format_table
 
 __all__ = [
@@ -108,6 +109,31 @@ class ChaosTask:
             extra_crashes=self.extra_crashes,
             crash_round=self.crash_round,
         )
+
+    def to_dict(self) -> dict:
+        """JSON-ready cell description (journal headers, fingerprints)."""
+        return {
+            "algorithm": self.algorithm,
+            "n": self.n,
+            "t": self.t,
+            "attack": self.attack,
+            "seed": self.seed,
+            "engine": self.engine,
+            "workload": self.workload,
+            "max_rounds": self.max_rounds,
+            "monitor": self.monitor,
+            "enforce_regime": self.enforce_regime,
+            "chaos_seed": self.chaos_seed,
+            "drop": self.drop,
+            "duplicate": self.duplicate,
+            "corrupt": self.corrupt,
+            "extra_crashes": self.extra_crashes,
+            "crash_round": self.crash_round,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ChaosTask":
+        return cls(**payload)
 
     def describe(self) -> str:
         """Compact cell label for triage tables."""
@@ -182,6 +208,31 @@ class ChaosOutcome:
             "retries": self.retries,
             "reproducer": self.task.reproducer() if self.quarantined else None,
         }
+
+    def verdict_dict(self) -> dict:
+        """The task-free verdict payload journals store (the task is
+        reconstructed from the grid by cell index on resume)."""
+        return {
+            "status": self.status,
+            "elapsed_s": self.elapsed_s,
+            "error": self.error,
+            "violated": list(self.violated),
+            "injected": dict(self.injected),
+            "retries": self.retries,
+        }
+
+    @classmethod
+    def from_verdict(cls, task: ChaosTask, payload: dict) -> "ChaosOutcome":
+        """Inverse of :meth:`verdict_dict` given the cell's task."""
+        return cls(
+            task=task,
+            status=payload["status"],
+            elapsed_s=payload.get("elapsed_s", 0.0),
+            error=payload.get("error"),
+            violated=tuple(payload.get("violated", ())),
+            injected=dict(payload.get("injected", {})),
+            retries=payload.get("retries", 0),
+        )
 
 
 def execute_chaos_task(task: ChaosTask) -> ChaosOutcome:
@@ -321,6 +372,15 @@ class TriageReport:
             "outcomes": [outcome.as_dict() for outcome in self.outcomes],
         }
 
+    def canonical(self) -> str:
+        """The report as canonical JSON: wall-clock and pool-size scrubbed.
+
+        Everything left is a pure function of the seeded grid, so a
+        resumed run's canonical report must be byte-identical to an
+        uninterrupted control run's — the resume acceptance check.
+        """
+        return canonical_json(self.to_json())
+
     @property
     def ok(self) -> bool:
         """True when the campaign itself is healthy: no quarantined cells
@@ -362,13 +422,30 @@ class ChaosCampaign:
         self.retries = retries
         self.task_runner = task_runner
 
-    def run(self, tasks: Sequence[ChaosTask]) -> TriageReport:
+    def run(
+        self,
+        tasks: Sequence[ChaosTask],
+        *,
+        journal: Optional[RunJournal] = None,
+        budget=None,
+    ) -> TriageReport:
         """Execute every cell and return the :class:`TriageReport`.
 
         Outcomes are ordered exactly as ``tasks`` — never by completion
         order — so campaigns are deterministic given their seeds.
+
+        ``journal`` makes the campaign durable and preemption-safe: cells
+        write ``started``/``finished``/``quarantined`` records through the
+        write-ahead journal, terminal cells are restored on resume instead
+        of re-executed, and the grid runs under the
+        :class:`~repro.analysis.supervisor.WorkerSupervisor` with per-cell
+        budgets (``budget`` defaults to a wall budget of ``timeout_s``).
+        SIGINT/SIGTERM drains in-flight cells, flushes the journal and
+        raises :class:`~repro.sim.errors.RunInterrupted`.
         """
         start = time.perf_counter()
+        if journal is not None:
+            return self._run_journaled(tasks, journal, budget, start)
         results: List[Optional[ChaosOutcome]] = [None] * len(tasks)
         if self.workers == 1 or len(tasks) <= 1:
             retried = self._run_serial(tasks, results)
@@ -379,6 +456,97 @@ class ChaosCampaign:
             outcomes=results,  # type: ignore[arg-type]
             elapsed_s=time.perf_counter() - start,
             retried=retried,
+            workers=self.workers,
+        )
+
+    @staticmethod
+    def fingerprint(tasks: Sequence[ChaosTask]) -> str:
+        """The campaign's config fingerprint (over the expanded grid)."""
+        return config_fingerprint("chaos", [task.to_dict() for task in tasks])
+
+    # --------------------------------------------------------------- durable
+
+    def _run_journaled(
+        self,
+        tasks: Sequence[ChaosTask],
+        journal: RunJournal,
+        budget,
+        start: float,
+    ) -> TriageReport:
+        """The durable path: restore terminal cells, supervise the rest.
+
+        Budget kills map onto the existing quarantine statuses — a wall
+        budget breach is a ``timeout``, an RSS breach or a dead worker is
+        ``crashed`` — with the precise reason kept in the journal record,
+        so ``runs doctor`` can tell budget kills from plain crashes.
+        """
+        from .supervisor import CellBudget, WorkerSupervisor
+
+        journal.verify_fingerprint(self.fingerprint(tasks))
+        state = journal.state
+        results: List[Optional[ChaosOutcome]] = [None] * len(tasks)
+        open_cells: List[Tuple[int, ChaosTask]] = []
+        for index, task in enumerate(tasks):
+            terminal = state.terminal(index)
+            if terminal is not None:
+                results[index] = ChaosOutcome.from_verdict(
+                    task, terminal["outcome"]
+                )
+            else:
+                open_cells.append((index, task))
+
+        def on_start(index: int, task: ChaosTask) -> None:
+            journal.append("started", cell=index)
+
+        def on_result(index: int, task: ChaosTask, outcome) -> None:
+            results[index] = outcome
+            journal.append(
+                "finished", cell=index, outcome=outcome.verdict_dict()
+            )
+
+        def on_failure(failure) -> None:
+            status = "timeout" if failure.kind == "wall-budget" else "crashed"
+            outcome = ChaosOutcome(
+                task=failure.task,
+                status=status,
+                error=failure.detail,
+                retries=failure.attempts - 1,
+            )
+            results[failure.index] = outcome
+            journal.append(
+                "quarantined",
+                cell=failure.index,
+                reason=failure.kind,
+                outcome=outcome.verdict_dict(),
+            )
+
+        if budget is None:
+            budget = CellBudget(wall_s=self.timeout_s)
+        supervisor = WorkerSupervisor(
+            self.task_runner,
+            workers=self.workers,
+            budget=budget,
+            retries=self.retries,
+        )
+        try:
+            sup_stats = supervisor.run(
+                open_cells,
+                on_start=on_start,
+                on_result=on_result,
+                on_failure=on_failure,
+            )
+        except BaseException:
+            try:
+                journal.append("interrupted")
+                journal.flush()
+            except Exception:  # noqa: BLE001 — best-effort on teardown
+                pass
+            raise
+        assert all(outcome is not None for outcome in results)
+        return TriageReport(
+            outcomes=results,  # type: ignore[arg-type]
+            elapsed_s=time.perf_counter() - start,
+            retried=sup_stats.retried,
             workers=self.workers,
         )
 

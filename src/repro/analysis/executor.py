@@ -49,6 +49,7 @@ from typing import (
 from ..sim import DEFAULT_ENGINE
 from ..workloads.ids import make_ids
 from .experiments import ExperimentRecord, run_experiment
+from .journal import RunJournal, atomic_write_text, config_fingerprint
 from .properties import PropertyReport
 
 __all__ = [
@@ -88,6 +89,24 @@ class RunTask:
     collect_trace: bool = False
     max_rounds: int = 1000
     engine: str = DEFAULT_ENGINE
+
+    def to_dict(self) -> dict:
+        """JSON-ready cell description (journal headers, fingerprints)."""
+        return {
+            "algorithm": self.algorithm,
+            "n": self.n,
+            "t": self.t,
+            "attack": self.attack,
+            "seed": self.seed,
+            "workload": self.workload,
+            "collect_trace": self.collect_trace,
+            "max_rounds": self.max_rounds,
+            "engine": self.engine,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunTask":
+        return cls(**payload)
 
 
 @dataclass
@@ -129,9 +148,20 @@ class ExperimentSummary:
     error: Optional[str] = None
 
     @classmethod
-    def for_failure(cls, task: "RunTask", error: BaseException) -> "ExperimentSummary":
-        """A loud placeholder row for a configuration whose run raised."""
-        message = f"{type(error).__name__}: {error}"
+    def for_failure(
+        cls, task: "RunTask", error: Union[BaseException, str]
+    ) -> "ExperimentSummary":
+        """A loud placeholder row for a configuration whose run raised.
+
+        ``error`` is the exception itself, or the already-formatted
+        ``"ExceptionType: message"`` string when the failure crossed a
+        process boundary (supervised workers report strings — the exception
+        object died with the worker).
+        """
+        if isinstance(error, str):
+            message = error
+        else:
+            message = f"{type(error).__name__}: {error}"
         report = PropertyReport(
             names={},
             namespace=0,
@@ -375,7 +405,14 @@ class ResultCache:
         return summary
 
     def store(self, task: RunTask, summary: ExperimentSummary) -> None:
-        """Persist ``summary`` under ``task``'s key (atomic rename).
+        """Persist ``summary`` under ``task``'s key.
+
+        The write is atomic *and durable*: temp file in the cache
+        directory, flush + fsync, then ``os.replace`` — without the fsync,
+        a rename can land before the data on a crash and leave a
+        zero-length "entry" at the final path. A kill at any point leaves
+        either no entry or a complete one; a leftover ``.tmp`` from a
+        killed writer is inert (never read, overwritten by the next store).
 
         Failed summaries are never cached: a transient worker failure must
         not poison future sweeps.
@@ -388,10 +425,7 @@ class ResultCache:
             "checksum": _summary_checksum(body),
             "summary": body,
         }
-        path = self._path(task)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(payload))
-        tmp.replace(path)
+        atomic_write_text(self._path(task), json.dumps(payload))
 
 
 @dataclass
@@ -406,6 +440,10 @@ class SweepStats:
     #: Configurations that failed even after the retry (their rows carry
     #: ``failed=True`` — they are reported, not dropped).
     failed: int = 0
+    #: Cells restored from a run journal instead of executed (resume).
+    restored: int = 0
+    #: Supervised cells killed for exceeding a wall/RSS budget.
+    budget_kills: int = 0
 
 
 class SweepExecutor:
@@ -431,28 +469,32 @@ class SweepExecutor:
         self.run_hook = run_hook
         self.stats = SweepStats()
 
-    def run(self, config) -> List[ExperimentSummary]:
+    def run(
+        self,
+        config,
+        *,
+        journal: Optional[RunJournal] = None,
+        budget=None,
+    ) -> List[ExperimentSummary]:
         """Execute (or restore) every configuration in ``config``'s grid.
 
         The returned list is ordered exactly as
         ``SweepConfig.configurations()`` yields, regardless of worker
         scheduling.
+
+        ``journal`` makes the sweep durable: every cell writes
+        ``started``/``finished``/``failed`` records through the
+        write-ahead journal, cells the journal already records as terminal
+        are restored instead of executed (resume), and execution runs
+        under the :class:`~repro.analysis.supervisor.WorkerSupervisor`
+        (optionally with a per-cell ``budget``), so SIGINT/SIGTERM drains
+        and raises :class:`~repro.sim.errors.RunInterrupted` instead of
+        discarding in-flight work.
         """
         start = time.perf_counter()
-        tasks = [
-            RunTask(
-                algorithm=algorithm,
-                n=n,
-                t=t,
-                attack=attack,
-                seed=seed,
-                workload=config.workload,
-                collect_trace=config.collect_trace,
-                max_rounds=config.max_rounds,
-                engine=getattr(config, "engine", DEFAULT_ENGINE),
-            )
-            for algorithm, n, t, attack, seed in config.configurations()
-        ]
+        tasks = self.tasks_for(config)
+        if journal is not None:
+            return self._run_journaled(tasks, journal, budget, start)
         results: List[Optional[ExperimentSummary]] = [None] * len(tasks)
 
         misses: List[Tuple[int, RunTask]] = []
@@ -481,6 +523,134 @@ class SweepExecutor:
             elapsed_s=time.perf_counter() - start,
             retried=retried,
             failed=failed,
+        )
+        return results  # type: ignore[return-value]
+
+    @staticmethod
+    def tasks_for(config) -> List[RunTask]:
+        """Expand ``config``'s grid into the ordered cell list."""
+        return [
+            RunTask(
+                algorithm=algorithm,
+                n=n,
+                t=t,
+                attack=attack,
+                seed=seed,
+                workload=config.workload,
+                collect_trace=config.collect_trace,
+                max_rounds=config.max_rounds,
+                engine=getattr(config, "engine", DEFAULT_ENGINE),
+            )
+            for algorithm, n, t, attack, seed in config.configurations()
+        ]
+
+    @staticmethod
+    def fingerprint(tasks: Sequence[RunTask]) -> str:
+        """The sweep's config fingerprint (over the expanded cell list)."""
+        return config_fingerprint("sweep", [task.to_dict() for task in tasks])
+
+    def _run_journaled(
+        self,
+        tasks: List[RunTask],
+        journal: RunJournal,
+        budget,
+        start: float,
+    ) -> List[ExperimentSummary]:
+        """The durable path: restore terminal cells, supervise the rest.
+
+        Journal discipline per cell: ``started`` is appended when the cell
+        is handed to a worker, a terminal record (``finished`` with the
+        summary, ``failed`` for a deterministic failure row,
+        ``quarantined`` for a budget kill) when its fate is known. Cache
+        hits journal ``finished`` immediately — resume must not depend on
+        the cache still being there.
+        """
+        from .supervisor import WorkerSupervisor  # local: avoids the cycle
+
+        journal.verify_fingerprint(self.fingerprint(tasks))
+        state = journal.state
+        results: List[Optional[ExperimentSummary]] = [None] * len(tasks)
+        restored = 0
+        open_cells: List[Tuple[int, RunTask]] = []
+        for index, task in enumerate(tasks):
+            terminal = state.terminal(index)
+            if terminal is not None:
+                results[index] = ExperimentSummary.from_dict(
+                    terminal["summary"]
+                )
+                restored += 1
+            else:
+                open_cells.append((index, task))
+
+        misses: List[Tuple[int, RunTask]] = []
+        from_cache = 0
+        for index, task in open_cells:
+            summary = self.cache.load(task) if self.cache is not None else None
+            if summary is not None:
+                results[index] = summary
+                journal.append(
+                    "finished", cell=index, summary=summary.to_dict()
+                )
+                from_cache += 1
+            else:
+                misses.append((index, task))
+
+        def on_start(index: int, task: RunTask) -> None:
+            journal.append("started", cell=index)
+            if self.run_hook is not None:
+                self.run_hook(task)
+
+        def on_result(index: int, task: RunTask, summary) -> None:
+            results[index] = summary
+            journal.append("finished", cell=index, summary=summary.to_dict())
+            if self.cache is not None:
+                self.cache.store(task, summary)
+
+        def on_failure(failure) -> None:
+            summary = ExperimentSummary.for_failure(
+                failure.task, failure.detail
+            )
+            results[failure.index] = summary
+            record = "failed" if failure.kind == "crashed" else "quarantined"
+            journal.append(
+                record,
+                cell=failure.index,
+                reason=failure.kind,
+                summary=summary.to_dict(),
+            )
+
+        supervisor = WorkerSupervisor(
+            execute_task,
+            workers=self.workers,
+            budget=budget,
+            retries=1,
+        )
+        try:
+            sup_stats = supervisor.run(
+                misses,
+                on_start=on_start,
+                on_result=on_result,
+                on_failure=on_failure,
+            )
+        except BaseException:
+            # Preemption (RunInterrupted) or a hard error: make everything
+            # recorded so far durable before unwinding. The interrupted
+            # marker is informational — the crash set already says what
+            # was in flight.
+            try:
+                journal.append("interrupted")
+                journal.flush()
+            except Exception:  # noqa: BLE001 — best-effort on teardown
+                pass
+            raise
+        self.stats = SweepStats(
+            executed=sup_stats.completed + sup_stats.failed,
+            from_cache=from_cache,
+            elapsed_s=time.perf_counter() - start,
+            retried=sup_stats.retried,
+            failed=sup_stats.failed,
+            restored=restored,
+            budget_kills=sup_stats.budget_kills,
         )
         return results  # type: ignore[return-value]
 

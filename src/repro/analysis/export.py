@@ -8,11 +8,13 @@ per run, flat columns, loadable by pandas/R/spreadsheets without adapters.
 from __future__ import annotations
 
 import csv
+import io
 from pathlib import Path
 from typing import Iterable, List, Union
 
 from .executor import ExperimentSummary
 from .experiments import ExperimentRecord
+from .journal import atomic_write_text
 
 #: Row types the exporter accepts: the slim transferable summary (what
 #: ``run_sweep`` returns) or the full in-process record — the schema reads
@@ -64,11 +66,17 @@ def record_row(record: RecordLike) -> List[object]:
 def export_csv(
     records: Iterable[RecordLike], path: Union[str, Path]
 ) -> Path:
-    """Write records to ``path`` as CSV; returns the path written."""
-    path = Path(path)
-    with path.open("w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(CSV_FIELDS)
-        for record in records:
-            writer.writerow(record_row(record))
-    return path
+    """Write records to ``path`` as CSV; returns the path written.
+
+    The write is atomic (temp file in the target directory, fsync, then
+    ``os.replace`` — the same discipline as the result cache and the run
+    journal): a killed export leaves either the previous file or the
+    complete new one, never a torn CSV that a downstream plot would
+    silently truncate.
+    """
+    buffer = io.StringIO(newline="")
+    writer = csv.writer(buffer)
+    writer.writerow(CSV_FIELDS)
+    for record in records:
+        writer.writerow(record_row(record))
+    return atomic_write_text(path, buffer.getvalue())

@@ -14,24 +14,49 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional, Tuple
 
 from .adversary import adversary_names
 from .analysis import (
     ALGORITHMS,
     CHAOS_PRESETS,
+    CellBudget,
     ChaosCampaign,
+    ChaosTask,
+    RunJournal,
     SweepConfig,
     SweepExecutor,
     chaos_grid,
     format_table,
     group_by,
+    list_runs,
     render_timeline,
     run_experiment,
+    scan_journal,
     summarize_views,
 )
-from .sim import ConfigurationError, DEFAULT_ENGINE, engine_names
+from .sim import (
+    ConfigurationError,
+    DEFAULT_ENGINE,
+    JournalError,
+    RunInterrupted,
+    engine_names,
+)
 from .workloads import get_scenario, make_ids, scenario_names, workload_names
+
+# Exit-code contract (documented in docs/robustness.md, asserted in
+# tests/test_cli.py). Scripts and CI branch on these — append-only.
+EXIT_OK = 0            # ran to completion, every checked property held
+EXIT_VIOLATION = 2     # ran to completion, a verified property was violated
+EXIT_INFRA = 3         # infra/config failure: bad config, unhealthy
+#                        campaign (quarantine/silent success), unusable
+#                        journal — the *measurement* never happened
+EXIT_INTERRUPTED = 4   # preempted (SIGINT/SIGTERM) but drained and
+#                        journaled: re-run `runs resume` to continue
+
+#: Default directory for run journals (``--journal``/``--runs-dir``).
+DEFAULT_RUNS_DIR = ".repro-runs"
 
 
 def _parse_workers(text: str) -> int:
@@ -56,6 +81,38 @@ def _parse_size(text: str) -> Tuple[int, int]:
         raise argparse.ArgumentTypeError(
             f"sizes are N:T pairs like 7:2, got {text!r}"
         ) from None
+
+
+def _parse_run_id(text: str) -> str:
+    ok = text and all(c.isalnum() or c in "._-" for c in text)
+    if not ok:
+        raise argparse.ArgumentTypeError(
+            f"run ids use letters, digits, '.', '_', '-'; got {text!r}"
+        )
+    return text
+
+
+def _add_durability_flags(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--journal", metavar="DIR", default=None,
+        help="make the run durable: write a resumable write-ahead journal "
+             "under DIR and execute under worker supervision (SIGINT/"
+             "SIGTERM drain in-flight cells and exit resumable)",
+    )
+    command.add_argument(
+        "--run-id", type=_parse_run_id, default=None, metavar="NAME",
+        help="journal name under --journal DIR (default: derived from the "
+             "config fingerprint)",
+    )
+    command.add_argument(
+        "--cell-wall", type=float, default=None, metavar="S",
+        help="per-cell wall-clock budget in seconds (supervised runs; a "
+             "breach quarantines the cell and restarts the worker)",
+    )
+    command.add_argument(
+        "--cell-rss", type=float, default=None, metavar="MB",
+        help="per-cell worker RSS budget in MiB (supervised runs, Linux)",
+    )
 
 
 def _add_engine_flag(command: argparse.ArgumentParser) -> None:
@@ -172,6 +229,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-cycle hang timeout in seconds")
     chaos.add_argument("--json", metavar="PATH", default=None,
                        help="also write the full triage report as JSON to PATH")
+    _add_durability_flags(chaos)
 
     sweep = commands.add_parser("sweep", help="run a configuration grid")
     sweep.add_argument("--algorithms", nargs="+", required=True, choices=sorted(ALGORITHMS))
@@ -196,6 +254,58 @@ def build_parser() -> argparse.ArgumentParser:
              "are executed",
     )
     _add_engine_flag(sweep)
+    _add_durability_flags(sweep)
+
+    runs = commands.add_parser(
+        "runs", help="manage durable (journaled) runs: list, resume, triage"
+    )
+    runs_commands = runs.add_subparsers(dest="runs_command", required=True)
+
+    runs_list = runs_commands.add_parser(
+        "list", help="list the journals in a runs directory"
+    )
+    runs_list.add_argument("--runs-dir", default=DEFAULT_RUNS_DIR,
+                           metavar="DIR")
+
+    runs_resume = runs_commands.add_parser(
+        "resume",
+        help="continue an interrupted run: replay its journal, verify the "
+             "config fingerprint, skip finished cells, re-run the crash set",
+    )
+    runs_resume.add_argument("run_id", type=_parse_run_id)
+    runs_resume.add_argument("--runs-dir", default=DEFAULT_RUNS_DIR,
+                             metavar="DIR")
+    runs_resume.add_argument(
+        "--workers", type=_parse_workers, default=None, metavar="N",
+        help="worker processes for the remaining cells (default: one per "
+             "CPU; results are identical for any worker count)",
+    )
+    runs_resume.add_argument("--csv", metavar="PATH", default=None,
+                             help="(sweep runs) write the final CSV to PATH")
+    runs_resume.add_argument("--json", metavar="PATH", default=None,
+                             help="(chaos runs) write the triage JSON to PATH")
+    runs_resume.add_argument(
+        "--cell-wall", type=float, default=None, metavar="S",
+        help="override the journaled per-cell wall budget",
+    )
+    runs_resume.add_argument(
+        "--cell-rss", type=float, default=None, metavar="MB",
+        help="override the journaled per-cell RSS budget",
+    )
+
+    runs_doctor = runs_commands.add_parser(
+        "doctor",
+        help="triage a journal: crash set, quarantine reasons, budget "
+             "kills, torn tail (reported and truncated safely)",
+    )
+    runs_doctor.add_argument("run_id", type=_parse_run_id)
+    runs_doctor.add_argument("--runs-dir", default=DEFAULT_RUNS_DIR,
+                             metavar="DIR")
+    runs_doctor.add_argument(
+        "--assert-no-reexecution", action="store_true",
+        help="exit with the infra code if any finished cell was "
+             "re-executed (the resume-smoke CI invariant)",
+    )
     return parser
 
 
@@ -238,7 +348,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         engine=args.engine,
     )
     _print_record(record)
-    return 0 if record.report.ok_without_order() else 1
+    return EXIT_OK if record.report.ok_without_order() else EXIT_VIOLATION
 
 
 def cmd_scenario(args: argparse.Namespace) -> int:
@@ -255,7 +365,7 @@ def cmd_scenario(args: argparse.Namespace) -> int:
         engine=args.engine,
     )
     _print_record(record)
-    return 0 if record.report.ok_without_order() else 1
+    return EXIT_OK if record.report.ok_without_order() else EXIT_VIOLATION
 
 
 def cmd_verify() -> int:
@@ -269,7 +379,7 @@ def cmd_verify() -> int:
         f"\n{len(results) - len(failed)}/{len(results)} claims verified"
         + ("" if not failed else " — REPRODUCTION BROKEN")
     )
-    return 1 if failed else 0
+    return EXIT_VIOLATION if failed else EXIT_OK
 
 
 def cmd_bounds(args: argparse.Namespace) -> int:
@@ -328,7 +438,7 @@ def cmd_inspect(args: argparse.Namespace) -> int:
 
         path = dump_run(record.result, args.save)
         print(f"run archived to {path}")
-    return 0 if report.ok_without_order() else 1
+    return EXIT_OK if report.ok_without_order() else EXIT_VIOLATION
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
@@ -340,6 +450,41 @@ def cmd_replay(args: argparse.Namespace) -> int:
     if views is not None:
         print("\naccepted-set views:\n" + views)
     return 0
+
+
+def _budget_from(args, fallback: Optional[dict] = None) -> Optional[CellBudget]:
+    """A :class:`CellBudget` from CLI flags, else journaled defaults."""
+    fallback = fallback or {}
+    wall = args.cell_wall if args.cell_wall is not None else fallback.get("wall_s")
+    rss = args.cell_rss if args.cell_rss is not None else fallback.get("rss_mb")
+    if wall is None and rss is None:
+        return None
+    return CellBudget(wall_s=wall, rss_mb=rss)
+
+
+def _journal_path(runs_dir: str, run_id: str) -> Path:
+    return Path(runs_dir) / f"{run_id}.jsonl"
+
+
+def _resume_hint(runs_dir: str, run_id: str) -> str:
+    return (
+        f"interrupted — everything completed so far is journaled; continue "
+        f"with:\n  repro-renaming runs resume {run_id} --runs-dir {runs_dir}"
+    )
+
+
+def _finish_chaos(report, json_path: Optional[str]) -> int:
+    print(report.render())
+    if json_path is not None:
+        import json
+
+        from .analysis import atomic_write_text
+
+        path = atomic_write_text(
+            json_path, json.dumps(report.to_json(), indent=2)
+        )
+        print(f"\ntriage report written to {path}")
+    return EXIT_OK if report.ok else EXIT_INFRA
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
@@ -371,31 +516,45 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     )
     if not tasks:
         print("error: empty campaign grid", file=sys.stderr)
-        return 2
+        return EXIT_INFRA
     campaign = ChaosCampaign(workers=args.workers, timeout_s=args.timeout)
-    report = campaign.run(tasks)
-    print(report.render())
-    if args.json is not None:
-        import json
-        from pathlib import Path
+    journal = None
+    if args.journal is not None:
+        fingerprint = ChaosCampaign.fingerprint(tasks)
+        run_id = args.run_id or f"chaos-{fingerprint[:10]}"
+        budget = _budget_from(args)
+        journal = RunJournal.create(
+            _journal_path(args.journal, run_id),
+            kind="chaos",
+            run_id=run_id,
+            config={
+                "tasks": [task.to_dict() for task in tasks],
+                "timeout_s": args.timeout,
+                "budget": {
+                    "wall_s": budget.wall_s if budget else None,
+                    "rss_mb": budget.rss_mb if budget else None,
+                },
+            },
+            fingerprint=fingerprint,
+            cells=len(tasks),
+        )
+        print(f"journaling to {journal.path} (run id: {run_id})")
+    try:
+        report = campaign.run(
+            tasks, journal=journal, budget=_budget_from(args)
+        )
+    except RunInterrupted as exc:
+        print(f"\n{exc}", file=sys.stderr)
+        print(_resume_hint(args.journal, journal.state.run_id),
+              file=sys.stderr)
+        return EXIT_INTERRUPTED
+    finally:
+        if journal is not None:
+            journal.close()
+    return _finish_chaos(report, args.json)
 
-        path = Path(args.json)
-        path.write_text(json.dumps(report.to_json(), indent=2))
-        print(f"\ntriage report written to {path}")
-    return 0 if report.ok else 1
 
-
-def cmd_sweep(args: argparse.Namespace) -> int:
-    config = SweepConfig(
-        algorithms=args.algorithms,
-        sizes=args.sizes,
-        attacks=args.attacks,
-        seeds=args.seeds,
-        workload=args.workload,
-        engine=args.engine,
-    )
-    executor = SweepExecutor(workers=args.workers, cache=args.cache)
-    records = executor.run(config)
+def _finish_sweep(records, executor, csv_path: Optional[str]) -> int:
     rows = []
     for (algorithm, n, t, attack), group in group_by(
         records, "algorithm", "n", "t", "attack"
@@ -417,18 +576,246 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         )
     )
     stats = executor.stats
+    restored = f", {stats.restored} restored" if stats.restored else ""
     print(
         f"\n{len(records)} runs ({stats.executed} executed, "
-        f"{stats.from_cache} cached) in {stats.elapsed_s:.2f}s "
+        f"{stats.from_cache} cached{restored}) in {stats.elapsed_s:.2f}s "
         f"on {executor.workers} worker(s)"
     )
-    if args.csv is not None:
+    if csv_path is not None:
         from .analysis import export_csv
 
-        path = export_csv(records, args.csv)
+        path = export_csv(records, csv_path)
         print(f"{len(records)} rows written to {path}")
     bad = [r for r in records if not r.report.ok_without_order()]
-    return 1 if bad else 0
+    return EXIT_VIOLATION if bad else EXIT_OK
+
+
+def _sweep_config_dict(config: SweepConfig) -> dict:
+    return {
+        "algorithms": list(config.algorithms),
+        "sizes": [list(size) for size in config.sizes],
+        "attacks": list(config.attacks),
+        "seeds": list(config.seeds),
+        "workload": config.workload,
+        "collect_trace": config.collect_trace,
+        "max_rounds": config.max_rounds,
+        "engine": config.engine,
+    }
+
+
+def _sweep_config_from(payload: dict) -> SweepConfig:
+    return SweepConfig(
+        algorithms=payload["algorithms"],
+        sizes=[tuple(size) for size in payload["sizes"]],
+        attacks=payload["attacks"],
+        seeds=payload["seeds"],
+        workload=payload["workload"],
+        collect_trace=payload["collect_trace"],
+        max_rounds=payload["max_rounds"],
+        engine=payload["engine"],
+    )
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    config = SweepConfig(
+        algorithms=args.algorithms,
+        sizes=args.sizes,
+        attacks=args.attacks,
+        seeds=args.seeds,
+        workload=args.workload,
+        engine=args.engine,
+    )
+    executor = SweepExecutor(workers=args.workers, cache=args.cache)
+    journal = None
+    if args.journal is not None:
+        tasks = SweepExecutor.tasks_for(config)
+        fingerprint = SweepExecutor.fingerprint(tasks)
+        run_id = args.run_id or f"sweep-{fingerprint[:10]}"
+        budget = _budget_from(args)
+        journal = RunJournal.create(
+            _journal_path(args.journal, run_id),
+            kind="sweep",
+            run_id=run_id,
+            config={
+                "sweep": _sweep_config_dict(config),
+                "cache": args.cache,
+                "budget": {
+                    "wall_s": budget.wall_s if budget else None,
+                    "rss_mb": budget.rss_mb if budget else None,
+                },
+            },
+            fingerprint=fingerprint,
+            cells=len(tasks),
+        )
+        print(f"journaling to {journal.path} (run id: {run_id})")
+    try:
+        records = executor.run(
+            config, journal=journal, budget=_budget_from(args)
+        )
+    except RunInterrupted as exc:
+        print(f"\n{exc}", file=sys.stderr)
+        print(_resume_hint(args.journal, journal.state.run_id),
+              file=sys.stderr)
+        return EXIT_INTERRUPTED
+    finally:
+        if journal is not None:
+            journal.close()
+    return _finish_sweep(records, executor, args.csv)
+
+
+def cmd_runs_list(args: argparse.Namespace) -> int:
+    states = list_runs(args.runs_dir)
+    if not states:
+        print(f"no journals under {args.runs_dir}")
+        return EXIT_OK
+    rows = []
+    for state in states:
+        if state.header is None:
+            rows.append([state.path.stem, "?", "?", "?", "?", "?", "?",
+                         "damaged"])
+            continue
+        in_flight = len(state.crash_set())
+        if state.complete:
+            status = "complete"
+        elif state.interrupted:
+            status = "interrupted"
+        else:
+            status = "in-progress"
+        if state.torn:
+            status += " +torn-tail"
+        rows.append([
+            state.run_id,
+            state.kind,
+            state.cells,
+            len(state.finished),
+            len(state.failed),
+            len(state.quarantined),
+            in_flight,
+            status,
+        ])
+    print(
+        format_table(
+            ["run id", "kind", "cells", "finished", "failed", "quarantined",
+             "in-flight", "status"],
+            rows,
+        )
+    )
+    return EXIT_OK
+
+
+def cmd_runs_resume(args: argparse.Namespace) -> int:
+    path = _journal_path(args.runs_dir, args.run_id)
+    journal = RunJournal.open(path)
+    header = journal.state.header
+    config_payload = header.get("config", {})
+    budget = _budget_from(args, fallback=config_payload.get("budget"))
+    remaining = len(journal.state.remaining())
+    print(
+        f"resuming {header['kind']} run {journal.state.run_id!r}: "
+        f"{journal.state.cells - remaining}/{journal.state.cells} cells "
+        f"already terminal, {remaining} to execute"
+    )
+    try:
+        if header["kind"] == "sweep":
+            config = _sweep_config_from(config_payload["sweep"])
+            executor = SweepExecutor(
+                workers=args.workers, cache=config_payload.get("cache")
+            )
+            records = executor.run(config, journal=journal, budget=budget)
+            return _finish_sweep(records, executor, args.csv)
+        if header["kind"] == "chaos":
+            tasks = [ChaosTask.from_dict(d) for d in config_payload["tasks"]]
+            campaign = ChaosCampaign(
+                workers=args.workers,
+                timeout_s=config_payload.get("timeout_s", 120.0),
+            )
+            report = campaign.run(tasks, journal=journal, budget=budget)
+            return _finish_chaos(report, args.json)
+        raise JournalError(
+            f"journal {path} has unknown run kind {header['kind']!r}"
+        )
+    except RunInterrupted as exc:
+        print(f"\n{exc}", file=sys.stderr)
+        print(_resume_hint(args.runs_dir, args.run_id), file=sys.stderr)
+        return EXIT_INTERRUPTED
+    finally:
+        journal.close()
+
+
+def cmd_runs_doctor(args: argparse.Namespace) -> int:
+    path = _journal_path(args.runs_dir, args.run_id)
+    state = scan_journal(path)
+    if state.header is None:
+        print(f"error: journal {path} has no header record", file=sys.stderr)
+        return EXIT_INFRA
+    print(f"run {state.run_id!r} ({state.kind}), journal {path}")
+    print(f"  fingerprint: {state.header.get('fingerprint', '?')[:16]}…")
+    print(f"  records:     {state.records}")
+    terminal = len(state.finished) + len(state.failed) + len(state.quarantined)
+    print(
+        f"  cells:       {state.cells} total — {len(state.finished)} "
+        f"finished, {len(state.failed)} failed, {len(state.quarantined)} "
+        f"quarantined, {len(state.crash_set())} in flight, "
+        f"{len(state.unstarted())} unstarted"
+    )
+    healthy = True
+    if state.torn:
+        raw = path.read_bytes()
+        torn_bytes = len(raw) - state.good_bytes
+        with open(path, "r+b") as handle:
+            handle.truncate(state.good_bytes)
+        print(
+            f"  torn tail:   {torn_bytes} byte(s) cut mid-append by a crash "
+            f"— truncated (by fsync ordering nothing ever acted on them)"
+        )
+    crash_set = state.crash_set()
+    if crash_set:
+        healthy = False
+        print(
+            f"  crash set:   cells {crash_set} were in flight when the "
+            f"orchestrator died — 'runs resume {state.run_id}' re-queues them"
+        )
+    if state.quarantined:
+        healthy = False
+        by_reason: dict = {}
+        for cell, payload in sorted(state.quarantined.items()):
+            by_reason.setdefault(payload.get("reason", "?"), []).append(cell)
+        for reason, cells in sorted(by_reason.items()):
+            print(f"  quarantined: {reason}: cells {cells}")
+    if state.failed:
+        healthy = False
+        print(f"  failed:      cells {sorted(state.failed)} (deterministic "
+              f"failures; resume restores them without re-running)")
+    reexecuted = state.reexecuted_finished()
+    if reexecuted:
+        print(
+            f"  REEXECUTED:  cells {reexecuted} were started again after a "
+            f"terminal record — the resume discipline was violated"
+        )
+        if args.assert_no_reexecution:
+            return EXIT_INFRA
+    elif args.assert_no_reexecution:
+        print("  reexecution: none — every terminal cell was skipped on resume")
+    if state.complete:
+        print("  status:      complete" + ("" if healthy else " (with findings)"))
+    elif state.interrupted:
+        print(f"  status:      interrupted (drained) — resume with "
+              f"'runs resume {state.run_id} --runs-dir {args.runs_dir}'")
+    else:
+        print(f"  status:      incomplete — resume with "
+              f"'runs resume {state.run_id} --runs-dir {args.runs_dir}'")
+    return EXIT_OK
+
+
+def cmd_runs(args: argparse.Namespace) -> int:
+    if args.runs_command == "list":
+        return cmd_runs_list(args)
+    if args.runs_command == "resume":
+        return cmd_runs_resume(args)
+    if args.runs_command == "doctor":
+        return cmd_runs_doctor(args)
+    raise AssertionError(f"unhandled runs command {args.runs_command!r}")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -436,7 +823,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _dispatch(build_parser().parse_args(argv))
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_INFRA
+    except JournalError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_INFRA
+    except RunInterrupted as exc:
+        # Commands catch this themselves to print a resume hint; this is the
+        # safety net for any journaled path that doesn't.
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_INTERRUPTED
     except BrokenPipeError:
         # Output piped into a pager/head that closed early — not an error.
         import os
@@ -467,6 +862,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return cmd_sweep(args)
     if args.command == "chaos":
         return cmd_chaos(args)
+    if args.command == "runs":
+        return cmd_runs(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

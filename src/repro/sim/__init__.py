@@ -41,8 +41,11 @@ from .engine import (
 )
 from .errors import (
     ConfigurationError,
+    JournalError,
     ProtocolViolationError,
+    ResourceBudgetExceeded,
     RoundLimitExceeded,
+    RunInterrupted,
     SafetyViolation,
     SimulationError,
 )
@@ -81,6 +84,7 @@ __all__ = [
     "FaultPlan",
     "FullMeshTopology",
     "Inbox",
+    "JournalError",
     "KIND_BITS",
     "Message",
     "Multiplexer",
@@ -95,7 +99,9 @@ __all__ = [
     "ProcessFactory",
     "ProtocolViolationError",
     "ReferenceEngine",
+    "ResourceBudgetExceeded",
     "RoundLimitExceeded",
+    "RunInterrupted",
     "RoundMetrics",
     "RunMetrics",
     "RunResult",

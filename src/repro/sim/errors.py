@@ -43,6 +43,48 @@ class RoundLimitExceeded(SimulationError):
     """
 
 
+class JournalError(SimulationError):
+    """A run journal is unusable: corrupt mid-file record, sequence gap,
+    missing header, or a config fingerprint that does not match the journal's.
+
+    A *torn tail* (the final record cut short by a crash mid-append) is NOT
+    a :class:`JournalError` — the record was never durable, so readers drop
+    it silently and ``runs doctor`` truncates it away. Anything unusable
+    *before* the tail means real corruption and refuses to resume.
+    """
+
+
+class RunInterrupted(SimulationError):
+    """A supervised run was preempted (SIGINT/SIGTERM) and drained cleanly.
+
+    Raised *after* in-flight cells were given a chance to finish and the run
+    journal was flushed — everything already completed is durable and
+    ``runs resume`` continues from exactly this point. The CLI maps this to
+    the distinct "interrupted but resumable" exit code.
+    """
+
+    def __init__(self, message: str, *, run_id=None, completed: int = 0,
+                 remaining: int = 0) -> None:
+        super().__init__(message)
+        self.run_id = run_id
+        self.completed = completed
+        self.remaining = remaining
+
+
+class ResourceBudgetExceeded(SimulationError):
+    """A supervised cell exceeded its wall-clock or RSS budget.
+
+    The supervisor SIGKILLs the offending worker, so this exception is never
+    *raised* inside the cell — it names the typed cause recorded in the
+    journal and in the cell's failure row (``violated`` is ``"wall-budget"``
+    or ``"rss-budget"``).
+    """
+
+    def __init__(self, message: str, *, violated: str = "wall-budget") -> None:
+        super().__init__(message)
+        self.violated = violated
+
+
 def _rebuild_safety_violation(message, violated, round_no, ids, trace_pointer):
     return SafetyViolation(
         message,

@@ -4,7 +4,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import (
+    EXIT_INFRA,
+    EXIT_INTERRUPTED,
+    EXIT_OK,
+    EXIT_VIOLATION,
+    build_parser,
+    main,
+)
 
 
 class TestParser:
@@ -95,7 +102,9 @@ class TestCommands:
             ["run", "--algorithm", "okun-crash", "--n", "7", "--t", "2",
              "--attack", "id-forging"]
         )
-        assert code == 2
+        # Configuration errors are infra failures (3), not violations (2):
+        # the measurement never happened.
+        assert code == 3
         assert "valid attacks" in capsys.readouterr().err
 
     def test_sweep_csv(self, capsys, tmp_path):
@@ -136,3 +145,117 @@ class TestCommands:
 
         archive = load_run(target)
         assert archive.n == 7
+
+
+class TestExitCodeContract:
+    """The documented exit codes (docs/robustness.md) are append-only API."""
+
+    def test_contract_values(self):
+        assert EXIT_OK == 0
+        assert EXIT_VIOLATION == 2
+        assert EXIT_INFRA == 3
+        assert EXIT_INTERRUPTED == 4
+
+    def test_success_is_zero(self):
+        assert main(
+            ["run", "--algorithm", "alg1", "--n", "7", "--t", "2"]
+        ) == EXIT_OK
+
+    def test_configuration_error_is_infra(self, capsys):
+        code = main(
+            ["run", "--algorithm", "alg1", "--n", "6", "--t", "2"]
+        )
+        assert code == EXIT_INFRA
+        capsys.readouterr()
+
+    def test_unusable_journal_is_infra(self, capsys, tmp_path):
+        code = main(
+            ["runs", "resume", "missing", "--runs-dir", str(tmp_path)]
+        )
+        assert code == EXIT_INFRA
+        assert "cannot read journal" in capsys.readouterr().err
+
+    def test_duplicate_run_id_is_infra(self, capsys, tmp_path):
+        argv = [
+            "sweep", "--algorithms", "alg1", "--sizes", "7:2", "--seeds", "0",
+            "--workers", "1", "--journal", str(tmp_path), "--run-id", "dup",
+        ]
+        assert main(argv) == EXIT_OK
+        capsys.readouterr()
+        assert main(argv) == EXIT_INFRA
+        assert "already exists" in capsys.readouterr().err
+
+    def test_bad_run_id_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["runs", "resume", "../escape", "--runs-dir", "x"]
+            )
+
+
+class TestRunsCommands:
+    def _journaled_sweep(self, tmp_path, run_id="r1"):
+        return main([
+            "sweep", "--algorithms", "alg1", "--sizes", "7:2",
+            "--seeds", "0", "1", "--workers", "1",
+            "--journal", str(tmp_path), "--run-id", run_id,
+        ])
+
+    def test_list_empty(self, capsys, tmp_path):
+        assert main(["runs", "list", "--runs-dir", str(tmp_path)]) == EXIT_OK
+        assert "no journals" in capsys.readouterr().out
+
+    def test_journaled_sweep_then_list(self, capsys, tmp_path):
+        assert self._journaled_sweep(tmp_path) == EXIT_OK
+        capsys.readouterr()
+        assert main(["runs", "list", "--runs-dir", str(tmp_path)]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "r1" in out and "sweep" in out and "complete" in out
+
+    def test_resume_complete_run_executes_nothing(self, capsys, tmp_path):
+        assert self._journaled_sweep(tmp_path) == EXIT_OK
+        capsys.readouterr()
+        code = main([
+            "runs", "resume", "r1", "--runs-dir", str(tmp_path),
+            "--workers", "1",
+        ])
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "0 executed" in out and "2 restored" in out
+
+    def test_doctor_asserts_no_reexecution(self, capsys, tmp_path):
+        assert self._journaled_sweep(tmp_path) == EXIT_OK
+        main(["runs", "resume", "r1", "--runs-dir", str(tmp_path),
+              "--workers", "1"])
+        capsys.readouterr()
+        code = main([
+            "runs", "doctor", "r1", "--runs-dir", str(tmp_path),
+            "--assert-no-reexecution",
+        ])
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "reexecution: none" in out
+        assert "complete" in out
+
+    def test_doctor_missing_header_is_infra(self, capsys, tmp_path):
+        # A journal whose only line is torn has no header: damaged.
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"v": 1, "seq": 0, "ty')
+        code = main(["runs", "doctor", "bad", "--runs-dir", str(tmp_path)])
+        assert code == EXIT_INFRA
+        assert "no header" in capsys.readouterr().err
+
+    def test_journaled_chaos_round_trip(self, capsys, tmp_path):
+        argv = [
+            "chaos", "--algorithms", "alg1", "--sizes", "7:2",
+            "--seeds", "0", "--chaos-seeds", "0", "--drop", "0.2",
+            "--workers", "1", "--journal", str(tmp_path), "--run-id", "c1",
+        ]
+        assert main(argv) == EXIT_OK
+        capsys.readouterr()
+        code = main([
+            "runs", "resume", "c1", "--runs-dir", str(tmp_path),
+            "--workers", "1",
+        ])
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "already terminal, 0 to execute" in out

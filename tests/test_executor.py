@@ -282,6 +282,62 @@ class TestCacheCorruption:
         assert cache.load(task) is not None  # re-stored after recompute
 
 
+class TestCacheDurability:
+    """`store` must be atomic and durable: fsync the temp file, then
+    `os.replace`. A process killed at *any* point during a put leaves
+    either no entry (a plain miss) or the complete entry — never a torn
+    file at the entry path."""
+
+    def _task(self):
+        return RunTask(algorithm="alg1", n=4, t=1, attack="silent", seed=0)
+
+    def test_store_fsyncs_before_replace(self, tmp_path, monkeypatch):
+        import os
+
+        calls = []
+        real_fsync, real_replace = os.fsync, os.replace
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (calls.append("fsync"), real_fsync(fd))[1]
+        )
+        monkeypatch.setattr(
+            os, "replace",
+            lambda a, b: (calls.append("replace"), real_replace(a, b))[1],
+        )
+        cache = ResultCache(tmp_path / "cache")
+        task = self._task()
+        cache.store(task, execute_task(task))
+        assert "fsync" in calls and "replace" in calls
+        assert calls.index("fsync") < calls.index("replace")
+
+    def test_kill_before_replace_is_a_plain_miss(self, tmp_path, monkeypatch):
+        # Simulate SIGKILL between the temp-file write and os.replace: the
+        # entry path never appears, the next load is a miss, nothing raises.
+        import os
+
+        cache = ResultCache(tmp_path / "cache")
+        task = self._task()
+        summary = execute_task(task)
+        monkeypatch.setattr(
+            os, "replace", lambda a, b: (_ for _ in ()).throw(KeyboardInterrupt)
+        )
+        with pytest.raises(KeyboardInterrupt):
+            cache.store(task, summary)
+        monkeypatch.undo()
+        assert not cache._path(task).exists()
+        assert cache.load(task) is None  # miss, not a crash
+        leftovers = list((tmp_path / "cache").glob("*.tmp"))
+        assert leftovers and leftovers[0].read_text()  # torn temp remains
+
+    def test_leftover_torn_temp_never_breaks_the_next_put(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        task = self._task()
+        tmp = cache._path(task).with_name(cache._path(task).name + ".tmp")
+        tmp.write_text('{"torn": tru')  # a killed writer's debris
+        cache.store(task, execute_task(task))
+        assert cache.load(task) is not None
+        assert not tmp.exists()  # consumed by the successful replace
+
+
 class TestExperimentSummary:
     def test_roundtrips_through_json_dict(self):
         task = RunTask(
