@@ -46,7 +46,7 @@ from typing import (
     Union,
 )
 
-from ..sim import DEFAULT_ENGINE
+from ..sim import DEFAULT_ENGINE, FaultPlan
 from ..workloads.ids import make_ids
 from .experiments import ExperimentRecord, run_experiment
 from .journal import RunJournal, atomic_write_text, config_fingerprint
@@ -77,8 +77,17 @@ def resolve_workers(workers: Optional[int]) -> int:
 
 @dataclass(frozen=True)
 class RunTask:
-    """One fully-specified sweep cell — primitives only, so it pickles
-    cheaply into worker processes and hashes stably into cache keys."""
+    """One fully-specified sweep cell — primitives (plus the frozen,
+    hashable :class:`~repro.sim.FaultPlan`) only, so it pickles cheaply
+    into worker processes and hashes stably into cache keys.
+
+    Every semantics-affecting knob of :func:`execute_task` lives here;
+    anything that can change a run's outcome must be a field so that
+    :meth:`to_dict` (journal fingerprints) and :meth:`ResultCache.key`
+    (cache identity) see it. ``monitor`` and ``chaos`` serialise only
+    when non-default, so grids that never touch them keep their journal
+    fingerprints from earlier releases.
+    """
 
     algorithm: str
     n: int
@@ -89,10 +98,12 @@ class RunTask:
     collect_trace: bool = False
     max_rounds: int = 1000
     engine: str = DEFAULT_ENGINE
+    monitor: bool = False
+    chaos: Optional[FaultPlan] = None
 
     def to_dict(self) -> dict:
         """JSON-ready cell description (journal headers, fingerprints)."""
-        return {
+        payload = {
             "algorithm": self.algorithm,
             "n": self.n,
             "t": self.t,
@@ -103,9 +114,30 @@ class RunTask:
             "max_rounds": self.max_rounds,
             "engine": self.engine,
         }
+        if self.monitor:
+            payload["monitor"] = True
+        if self.chaos is not None:
+            payload["chaos"] = {
+                "seed": self.chaos.seed,
+                "drop": self.chaos.drop,
+                "duplicate": self.chaos.duplicate,
+                "corrupt": self.chaos.corrupt,
+                "crashes": [list(entry) for entry in self.chaos.crashes],
+                "extra_crashes": self.chaos.extra_crashes,
+                "crash_round": self.chaos.crash_round,
+            }
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "RunTask":
+        payload = dict(payload)
+        chaos = payload.get("chaos")
+        if chaos is not None:
+            chaos = dict(chaos)
+            chaos["crashes"] = tuple(
+                tuple(entry) for entry in chaos.get("crashes", ())
+            )
+            payload["chaos"] = FaultPlan(**chaos)
         return cls(**payload)
 
 
@@ -313,6 +345,8 @@ def execute_task(task: RunTask) -> ExperimentSummary:
         collect_trace=task.collect_trace,
         max_rounds=task.max_rounds,
         engine=task.engine,
+        monitor=task.monitor,
+        chaos=task.chaos,
     )
     return summarize_record(
         record, workload=task.workload, elapsed_s=time.perf_counter() - start
@@ -328,10 +362,13 @@ def _summary_checksum(body: dict) -> str:
 class ResultCache:
     """On-disk memo of finished sweep cells, one JSON file per configuration.
 
-    Keys are SHA-256 hashes of the full :class:`RunTask` plus a schema
-    version, so any knob that could change the outcome (algorithm, size,
-    attack, seed, workload, round cap, tracing, engine) misses cleanly, and
-    schema bumps invalidate everything at once.
+    Keys are SHA-256 hashes of the full :meth:`RunTask.to_dict` payload plus
+    a schema version. Deriving the key from ``to_dict`` — rather than an
+    independently maintained field list — means every semantics-affecting
+    knob (algorithm, size, attack, seed, workload, round cap, tracing,
+    engine, safety monitoring, chaos fault plan) participates by
+    construction: adding a field to :class:`RunTask` cannot silently leave
+    the cache key behind. Schema bumps invalidate everything at once.
 
     Entries are checksummed envelopes ``{"schema", "checksum", "summary"}``:
     :meth:`load` verifies the schema version and the SHA-256 of the summary
@@ -340,12 +377,14 @@ class ResultCache:
     as an error and never as silently-wrong data. Failed summaries
     (:attr:`ExperimentSummary.failed`) are refused by :meth:`store`.
 
-    The engine is part of the key even though both engines are proven to
+    The engine is part of the key even though all engines are proven to
     produce identical summaries: a cache hit must never mask an engine
     divergence that the differential suite would have caught.
     """
 
-    SCHEMA = 3
+    #: Bumped whenever key composition or entry layout changes (4: keys
+    #: derive from ``RunTask.to_dict`` and cover monitor/chaos).
+    SCHEMA = 4
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
@@ -353,18 +392,7 @@ class ResultCache:
 
     def key(self, task: RunTask) -> str:
         payload = json.dumps(
-            {
-                "schema": self.SCHEMA,
-                "algorithm": task.algorithm,
-                "n": task.n,
-                "t": task.t,
-                "attack": task.attack,
-                "seed": task.seed,
-                "workload": task.workload,
-                "collect_trace": task.collect_trace,
-                "max_rounds": task.max_rounds,
-                "engine": task.engine,
-            },
+            {"schema": self.SCHEMA, **task.to_dict()},
             sort_keys=True,
         )
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()

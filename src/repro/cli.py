@@ -119,8 +119,9 @@ def _add_engine_flag(command: argparse.ArgumentParser) -> None:
     command.add_argument(
         "--engine", default=DEFAULT_ENGINE, choices=engine_names(),
         help="simulator round-loop implementation (results are identical; "
-             "'reference' is the slow oracle the batched engine is "
-             "differentially tested against)",
+             "'reference' is the slow oracle the others are differentially "
+             "tested against, 'vector' is the numpy-backed array engine, "
+             "listed only when numpy is installed)",
     )
 
 

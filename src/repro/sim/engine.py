@@ -1,9 +1,9 @@
-"""Round execution engines: the reference loop and the batched fast path.
+"""Round execution engines: the reference loop and its fast paths.
 
 :func:`~repro.sim.runner.run_protocol` owns run *setup* (topology, fault
 slots, process construction) and result assembly; everything between —
 "execute synchronous rounds until every correct process is done" — is an
-:class:`Engine`. Two implementations ship:
+:class:`Engine`. Three implementations ship:
 
 * :class:`ReferenceEngine` (``"reference"``) — the original, obviously-correct
   loop: per-round ``Outbox`` dicts expanded into ``(link, message)``
@@ -14,13 +14,24 @@ slots, process construction) and result assembly; everything between —
   tables, preallocated per-link inbox buffers reused across rounds, interned
   instances for the high-volume message types, and per-*message* (not
   per-transmission) traffic accounting with cached bit sizes.
+* :class:`~repro.sim.engine_vector.VectorEngine` (``"vector"``, optional —
+  requires numpy) — dense port matrices, one shared tuple per broadcasting
+  sender instead of per-recipient buffers, and lazy gather-view inboxes, so
+  a substrate-bound round costs O(n) Python operations instead of O(n²).
+  Message shapes the dense layout cannot express fall back to a scalar
+  overlay (see :mod:`repro.sim.engine_vector`). Registered only when numpy
+  imports; ``resolve_engine("vector")`` explains the missing dependency
+  otherwise.
 
-The two engines are **behaviour-identical by contract**: same process calls
+The engines are **behaviour-identical by contract**: same process calls
 in the same order, equal inboxes, equal metrics, equal traces, same errors —
 under every adversary, because the adversary's rushing view and observation
 inboxes are built identically. ``tests/test_engine_differential.py`` enforces
 the contract across every registered algorithm × attack × seed grid; any
-optimisation that cannot keep the contract does not belong here.
+optimisation that cannot keep the contract does not belong here. All traffic
+accounting flows through the single shared primitive
+:meth:`~repro.sim.metrics.RunMetrics.observe_send`, so the encoding model
+cannot drift between engines.
 
 Both engines honour two opt-in collection knobs: tracing costs nothing
 unless a :class:`~repro.sim.trace.TraceRecorder` was attached at setup, and
@@ -282,6 +293,7 @@ class BatchedEngine(Engine):
         bits_of: Dict[int, int] = {}  # id(canonical) -> cached bit size
         id_bits = metrics.id_bits
         rank_bits = metrics.rank_bits
+        observe_send = metrics.observe_send
 
         def route(sender: int, outbox: Outbox, count_correct: bool) -> int:
             """Route one outbox; returns the transmission count."""
@@ -328,10 +340,7 @@ class BatchedEngine(Engine):
                                 bits = message.bit_size(
                                     id_bits=id_bits, rank_bits=rank_bits
                                 )
-                            record.correct_messages += fan
-                            record.correct_bits += fan * bits
-                            if bits > metrics.peak_message_bits:
-                                metrics.peak_message_bits = bits
+                            observe_send(record, bits, fan)
                     sent += fan
                     for slot, recipient_active, recipient_link in targets:
                         if not slot:
@@ -422,16 +431,34 @@ ENGINES: Dict[str, Engine] = {
     engine.name: engine for engine in (ReferenceEngine(), BatchedEngine())
 }
 
-#: The engine ``run_protocol`` uses when none is requested.
+# The vector engine needs numpy, which is an optional dependency: without
+# it the engine simply is not registered (engine_names() omits it and the
+# CLI does not offer it), and resolve_engine("vector") explains what is
+# missing instead of calling the name unknown.
+try:
+    from .engine_vector import VectorEngine
+except ImportError:  # pragma: no cover - exercised in the no-numpy CI leg
+    VectorEngine = None  # type: ignore[assignment, misc]
+else:
+    ENGINES[VectorEngine.name] = VectorEngine()
+
+#: The engine ``run_protocol`` uses when none is requested. Stays "batched":
+#: the default must work on a dependency-free install.
 DEFAULT_ENGINE = "batched"
 
 
 def resolve_engine(name: str) -> Engine:
-    """Look up an engine by selector name (``"reference"`` | ``"batched"``)."""
+    """Look up an engine by selector name (``"reference"`` | ``"batched"`` |
+    ``"vector"``)."""
     try:
         return ENGINES[name]
     except KeyError:
         known = ", ".join(sorted(ENGINES))
+        if name == "vector":
+            raise ConfigurationError(
+                "engine 'vector' requires numpy, an optional dependency "
+                "(pip install numpy); available engines: " + known
+            ) from None
         raise ConfigurationError(
             f"unknown engine {name!r}; known engines: {known}"
         ) from None

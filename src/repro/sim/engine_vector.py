@@ -1,0 +1,412 @@
+"""Array-native round execution: the ``"vector"`` engine.
+
+The batched engine still performs O(n²) Python-level work per round — one
+buffer append per (sender, recipient) pair and one dict store per delivered
+link. This module replaces that per-link object shuffling with dense arrays
+and shared immutable views:
+
+* the topology's two port permutations become dense numpy matrices built
+  once per run — ``peer_at[p, link] -> peer`` and ``label_at[r, s] ->
+  r's label for traffic from s`` — so routing any transmission is two array
+  indexings instead of two dict lookups;
+* a round's broadcast traffic lives in one *dense layer*: per-sender rows
+  (``dense[s]`` = the tuple of messages ``s`` put on every link, ``None``
+  for senders with nothing dense this round) plus a boolean mask over the
+  rows. Because messages are frozen and a broadcast delivers the same
+  objects to every recipient anyway, one tuple per sender serves all ``n``
+  recipients — fan-out is never materialised;
+* inboxes are :class:`VectorInbox` gather views over that layer: content-
+  equal to the dict the reference engine would build, but constructed in
+  O(1) and resolved lazily through the recipient's port row
+  (``dense[peer_at[r, link]]``). The present-link list is one vectorised
+  mask gather (``dense_mask[peer_row]``), not a Python loop;
+* traffic accounting is per *message* with a fan-out multiplier through
+  :meth:`~repro.sim.metrics.RunMetrics.observe_send` — the same shared
+  accounting primitive the other engines use — with the batched engine's
+  canonical-instance interning and bit-size cache.
+
+Message shapes the dense layout cannot express fall back to a *scalar
+overlay*: any outbox that is not a single pure ``BROADCAST`` entry —
+point-to-point sends, Byzantine traffic aimed at specific links, and
+every chaos-perturbed round (the injector expands broadcasts into explicit
+per-link entries, including corrupted payloads and duplicated frames) — is
+walked message by message into sparse per-recipient buckets, exactly like
+the batched engine would. Dense layer and overlay compose per link without
+ambiguity because each link label names exactly one sender.
+
+Byzantine slots occupy rows of the same dense fabric, masked out of the
+correct-traffic accounting: their broadcasts land in ``dense`` like anyone
+else's (recipients cannot tell — that is the model), but nothing they send
+is charged to the correct counters.
+
+Behaviour identity with the reference loop is the same hard contract the
+batched engine carries — same process-call order, equal inbox contents in
+ascending link order, equal metrics, traces and errors —  enforced by the
+three-engine grids in ``tests/test_engine_differential.py`` and
+``tests/test_chaos_differential.py``.
+
+numpy is an **optional dependency**: importing this module without it
+raises ``ImportError``, which :mod:`repro.sim.engine` catches to leave the
+``"vector"`` entry out of the registry (``resolve_engine("vector")`` then
+explains the missing dependency instead of failing obscurely).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping as MappingABC
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .chaos import ChaosInjector
+from .engine import Engine, _pooled_types, _raise_round_limit, _roundtrip_outbox
+from .errors import ConfigurationError, ProtocolViolationError
+from .faults import Adversary
+from .messages import Message
+from .metrics import RunMetrics
+from .monitor import SafetyMonitor
+from .network import SynchronousNetwork
+from .process import BROADCAST, Inbox, Outbox, Process
+
+__all__ = ["VectorEngine", "VectorInbox"]
+
+
+class VectorInbox(MappingABC):
+    """Read-only gather view over one round's dense layer + scalar overlay.
+
+    Content-equal to the ascending-link-order dict inbox the reference
+    engine builds (same links, same per-link message tuples, same iteration
+    order) but constructed in O(1): link ``l`` resolves through the
+    recipient's port row to ``dense[peer_row[l]]``, falling back to the
+    sparse ``overlay`` for scalar-path traffic. A protocol that ignores its
+    inbox — or reads only a few links — never pays for ``n``.
+
+    The view is stable after the round ends: ``dense``/``dense_mask`` are
+    rebuilt per round (never cleared in place), so a process that retains
+    its inbox across rounds keeps seeing the round it was delivered in.
+    """
+
+    __slots__ = ("_peer_row", "_dense", "_dense_mask", "_overlay", "_links")
+
+    def __init__(
+        self,
+        peer_row,  # np row view, length n+1; slot 0 unused (BROADCAST)
+        dense: Sequence[Optional[Tuple[Message, ...]]],
+        dense_mask,  # np bool array over senders
+        overlay: Optional[Dict[int, Tuple[Message, ...]]],
+    ) -> None:
+        self._peer_row = peer_row
+        self._dense = dense
+        self._dense_mask = dense_mask
+        self._overlay = overlay
+        self._links: Optional[List[int]] = None
+
+    def _link_list(self) -> List[int]:
+        links = self._links
+        if links is None:
+            # One mask gather resolves which of the n links carried dense
+            # traffic; the sparse overlay links are OR-ed on top.
+            present = self._dense_mask[self._peer_row[1:]]
+            overlay = self._overlay
+            if overlay:
+                present = present.copy()
+                present[np.fromiter(overlay, dtype=np.intp, count=len(overlay)) - 1] = True
+            links = self._links = (np.flatnonzero(present) + 1).tolist()
+        return links
+
+    def __getitem__(self, link) -> Tuple[Message, ...]:
+        overlay = self._overlay
+        if overlay is not None:
+            got = overlay.get(link)
+            if got is not None:
+                return got
+        # Match plain-dict key semantics: only the int labels 1..n resolve.
+        # ``int(link)`` keeps bool keys dict-equivalent (``inbox[True]`` is
+        # ``inbox[1]``) — raw ``peer_row[True]`` would be a boolean *mask*.
+        if isinstance(link, int) and 1 <= link < len(self._peer_row):
+            got = self._dense[self._peer_row[int(link)]]
+            if got is not None:
+                return got
+        raise KeyError(link)
+
+    def __iter__(self):
+        return iter(self._link_list())
+
+    def __len__(self) -> int:
+        return len(self._link_list())
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, MappingABC):
+            if len(other) != len(self):
+                return False
+            try:
+                return all(other[link] == self[link] for link in self)
+            except KeyError:
+                return False
+        return NotImplemented
+
+    def __repr__(self) -> str:  # debugging aid; resolves the full view
+        return f"VectorInbox({dict(self.items())!r})"
+
+
+class VectorEngine(Engine):
+    """Dense-matrix round loop (see module docstring).
+
+    Behaviour-identical to :class:`~repro.sim.engine.ReferenceEngine` by
+    the same contract the batched engine carries; every deviation is an
+    implementation detail that provably cannot be observed:
+
+    * port permutations are dense integer matrices built from the topology,
+      so the (sender, link) → (recipient, recipient link) mapping is the
+      same function in array form;
+    * a broadcast's fan-out is one shared tuple instead of n buffer
+      appends — safe because messages are frozen and the reference engine
+      already aliases one object across all recipients of a broadcast;
+    * inboxes are lazy :class:`VectorInbox` views with the documented
+      ascending-link iteration order and dict-equal contents;
+    * accounting goes through the shared
+      :meth:`~repro.sim.metrics.RunMetrics.observe_send` primitive with the
+      batched engine's interning and per-canonical-instance size cache,
+      which sums to exactly the reference's per-transmission accounting.
+    """
+
+    name = "vector"
+
+    def execute(
+        self,
+        *,
+        processes: Dict[int, Process],
+        adversary: Adversary,
+        byzantine: Sequence[int],
+        network: SynchronousNetwork,
+        metrics: RunMetrics,
+        through_wire: bool = False,
+        max_rounds: int = 1000,
+        collect_metrics: bool = True,
+        chaos: Optional[ChaosInjector] = None,
+        monitor: Optional[SafetyMonitor] = None,
+    ) -> None:
+        topology = network.topology
+        n = topology.n
+        byz_set = set(byzantine)
+
+        # Dense port fabric, built once per run. peer_at[p, l] is the peer
+        # that p reaches via label l (slot 0 is BROADCAST, never routed);
+        # label_at[r, s] is r's label for traffic from s, with
+        # label_at[p, p] = n (the self-loop).
+        peer_at = np.empty((n, n + 1), dtype=np.intp)
+        peer_at[:, 0] = 0
+        for p in range(n):
+            peer_at[p, 1:] = np.fromiter(
+                (peer for _, peer in topology.link_items(p)),
+                dtype=np.intp,
+                count=n,
+            )
+        label_at = np.empty((n, n), dtype=np.intp)
+        label_at[
+            np.repeat(np.arange(n), n), peer_at[:, 1:].ravel()
+        ] = np.tile(np.arange(1, n + 1), n)
+
+        pooled = frozenset(_pooled_types())
+        pool: Dict[Message, Message] = {}
+        bits_of: Dict[int, int] = {}  # id(canonical) -> cached bit size
+        id_bits = metrics.id_bits
+        rank_bits = metrics.rank_bits
+        observe_send = metrics.observe_send
+        link_range = range(1, n + 1)
+
+        def route(
+            sender: int,
+            outbox: Outbox,
+            *,
+            correct: bool,
+            dense: List[Optional[Tuple[Message, ...]]],
+            dense_mask,
+            overlays: Dict[int, Dict[int, List[Message]]],
+            record,
+        ) -> int:
+            """Route one outbox; returns its transmission count.
+
+            ``record`` is the round's metric record, or ``None`` when
+            accounting is off (interning still runs — it is a routing
+            concern, not a metrics one).
+            """
+            if len(outbox) == 1 and BROADCAST in outbox:
+                # Dense path: pure broadcast — one shared tuple serves every
+                # recipient; no per-link expansion ever happens.
+                out: List[Message] = []
+                sent = 0
+                for message in outbox[BROADCAST]:
+                    if not isinstance(message, Message):
+                        raise ProtocolViolationError(
+                            f"process {sender} sent a non-Message object: "
+                            f"{message!r}"
+                        )
+                    if correct:
+                        is_pooled = type(message) in pooled
+                        if is_pooled:
+                            canonical = pool.get(message)
+                            if canonical is None:
+                                pool[message] = message
+                            else:
+                                message = canonical
+                        if record is not None:
+                            if is_pooled:
+                                key = id(message)
+                                bits = bits_of.get(key)
+                                if bits is None:
+                                    bits = message.bit_size(
+                                        id_bits=id_bits, rank_bits=rank_bits
+                                    )
+                                    bits_of[key] = bits
+                            else:
+                                bits = message.bit_size(
+                                    id_bits=id_bits, rank_bits=rank_bits
+                                )
+                            observe_send(record, bits, n)
+                    out.append(message)
+                    sent += n
+                if out:
+                    dense[sender] = tuple(out)
+                    dense_mask[sender] = True
+                return sent
+
+            # Scalar overlay: anything the dense layer cannot express —
+            # point-to-point sends, mixed outboxes, chaos-expanded rounds.
+            prow = peer_at[sender]
+            sent = 0
+            for link, messages in outbox.items():
+                if link == BROADCAST:
+                    fan = n
+                elif 1 <= link <= n:
+                    fan = 1
+                else:
+                    raise ProtocolViolationError(
+                        f"process {sender} addressed invalid link {link} (n={n})"
+                    )
+                for message in messages:
+                    if not isinstance(message, Message):
+                        raise ProtocolViolationError(
+                            f"process {sender} sent a non-Message object: "
+                            f"{message!r}"
+                        )
+                    if correct:
+                        is_pooled = type(message) in pooled
+                        if is_pooled:
+                            canonical = pool.get(message)
+                            if canonical is None:
+                                pool[message] = message
+                            else:
+                                message = canonical
+                        if record is not None:
+                            if is_pooled:
+                                key = id(message)
+                                bits = bits_of.get(key)
+                                if bits is None:
+                                    bits = message.bit_size(
+                                        id_bits=id_bits, rank_bits=rank_bits
+                                    )
+                                    bits_of[key] = bits
+                            else:
+                                bits = message.bit_size(
+                                    id_bits=id_bits, rank_bits=rank_bits
+                                )
+                            observe_send(record, bits, fan)
+                    sent += fan
+                    if fan == 1:
+                        recipient = int(prow[link])
+                        overlays.setdefault(recipient, {}).setdefault(
+                            int(label_at[recipient, sender]), []
+                        ).append(message)
+                    else:
+                        for lnk in link_range:
+                            recipient = int(prow[lnk])
+                            overlays.setdefault(recipient, {}).setdefault(
+                                int(label_at[recipient, sender]), []
+                            ).append(message)
+            return sent
+
+        def freeze(overlay: Dict[int, List[Message]]) -> Dict[int, Tuple[Message, ...]]:
+            return {link: tuple(overlay[link]) for link in sorted(overlay)}
+
+        empty: Inbox = {}
+        for round_no in range(1, max_rounds + 1):
+            pending = [i for i, p in processes.items() if not p.done]
+            if not pending:
+                break
+            if monitor is not None:
+                monitor.begin_round(round_no)
+            record = metrics.begin_round(round_no)
+
+            correct_outboxes: Dict[int, Outbox] = {
+                i: processes[i].send(round_no) for i in pending
+            }
+            if through_wire:
+                correct_outboxes = {
+                    i: _roundtrip_outbox(outbox)
+                    for i, outbox in correct_outboxes.items()
+                }
+            byz_outboxes = adversary.send(round_no, correct_outboxes)
+            for index in byz_outboxes:
+                if index not in byz_set:
+                    raise ConfigurationError(
+                        f"adversary tried to send as correct process {index}"
+                    )
+            if chaos is not None:
+                correct_outboxes, byz_outboxes = chaos.perturb(
+                    round_no, correct_outboxes, byz_outboxes
+                )
+
+            # Fresh per-round layers (never cleared in place: delivered
+            # VectorInbox views must stay valid if a process retains them).
+            dense: List[Optional[Tuple[Message, ...]]] = [None] * n
+            dense_mask = np.zeros(n, dtype=bool)
+            overlays: Dict[int, Dict[int, List[Message]]] = {}
+            rec = record if collect_metrics else None
+            for index, outbox in correct_outboxes.items():
+                route(
+                    index, outbox, correct=True,
+                    dense=dense, dense_mask=dense_mask, overlays=overlays,
+                    record=rec,
+                )
+            byz_sent = 0
+            for index, outbox in byz_outboxes.items():
+                byz_sent += route(
+                    index, outbox, correct=False,
+                    dense=dense, dense_mask=dense_mask, overlays=overlays,
+                    record=rec,
+                )
+            if collect_metrics:
+                record.byzantine_messages += byz_sent
+
+            # Any dense sender broadcast to *every* link, so with a
+            # non-empty dense layer every recipient has a non-empty inbox.
+            has_dense = bool(dense_mask.any())
+            for index in pending:
+                overlay = overlays.get(index)
+                if has_dense:
+                    inbox: Inbox = VectorInbox(
+                        peer_at[index], dense, dense_mask,
+                        freeze(overlay) if overlay else None,
+                    )
+                elif overlay:
+                    inbox = freeze(overlay)
+                else:
+                    inbox = empty
+                processes[index].deliver(round_no, inbox)
+            if monitor is not None:
+                monitor.after_deliver(round_no, processes)
+            if adversary.wants_observations:
+                byz_inboxes: Dict[int, Inbox] = {}
+                for index in byzantine:
+                    overlay = overlays.get(index)
+                    if has_dense:
+                        byz_inboxes[index] = VectorInbox(
+                            peer_at[index], dense, dense_mask,
+                            freeze(overlay) if overlay else None,
+                        )
+                    elif overlay:
+                        byz_inboxes[index] = freeze(overlay)
+                adversary.observe(round_no, byz_inboxes)
+        else:
+            _raise_round_limit(processes, max_rounds)

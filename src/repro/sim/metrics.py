@@ -49,14 +49,27 @@ class RunMetrics:
         self.rounds.append(record)
         return record
 
+    def observe_send(self, record: RoundMetrics, bits: int, count: int = 1) -> None:
+        """Charge ``count`` transmissions of one ``bits``-sized correct message.
+
+        The single accounting primitive every engine goes through: message
+        count, bit count, and peak-size tracking live here and nowhere else,
+        so a change to the encoding model can never drift between engines.
+        ``count`` is the fan-out (``n`` for a broadcast accounted per
+        message, ``1`` for a per-transmission caller).
+        """
+        record.correct_messages += count
+        record.correct_bits += count * bits
+        if bits > self.peak_message_bits:
+            self.peak_message_bits = bits
+
     def count_correct(self, record: RoundMetrics, messages: Iterable[Message]) -> None:
         """Charge correct-process messages to ``record`` and track peak size."""
         for message in messages:
-            bits = message.bit_size(id_bits=self.id_bits, rank_bits=self.rank_bits)
-            record.correct_messages += 1
-            record.correct_bits += bits
-            if bits > self.peak_message_bits:
-                self.peak_message_bits = bits
+            self.observe_send(
+                record,
+                message.bit_size(id_bits=self.id_bits, rank_bits=self.rank_bits),
+            )
 
     @property
     def round_count(self) -> int:

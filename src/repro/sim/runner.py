@@ -16,7 +16,10 @@ Round structure (matching the paper's "Step r"):
 The loop itself lives in :mod:`repro.sim.engine`: ``engine="reference"``
 executes it one Python object per message hop, ``engine="batched"`` (the
 default) runs the same rounds through precomputed routing tables and reused
-inbox buffers. The two are behaviour-identical under every adversary.
+inbox buffers, and ``engine="vector"`` (:mod:`repro.sim.engine_vector`,
+present when numpy is installed) runs them over dense port matrices with
+lazy gather-view inboxes. All are behaviour-identical under every
+adversary.
 """
 
 from __future__ import annotations
@@ -117,10 +120,11 @@ def run_protocol(
     traffic is exempt: adversaries may emit objects no codec knows).
 
     ``engine`` selects the round-loop implementation (see
-    :mod:`repro.sim.engine`): ``"batched"`` (default) or ``"reference"``.
-    Both produce identical results; the reference engine exists as the
-    obviously-correct oracle the batched one is differentially tested
-    against.
+    :mod:`repro.sim.engine`): ``"batched"`` (default), ``"reference"``,
+    or ``"vector"`` (numpy-backed; registered only when numpy is
+    installed). All produce identical results; the reference engine
+    exists as the obviously-correct oracle the other engines are
+    differentially tested against.
 
     ``collect_metrics=False`` skips all traffic accounting (message and bit
     counters stay zero); round counts are always recorded. ``topology_seed``

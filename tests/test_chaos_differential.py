@@ -1,10 +1,11 @@
 """Cross-engine differential contract under fault injection.
 
-The chaos hook sits at the same point in both engines (after the adversary
+The chaos hook sits at the same point in every engine (after the adversary
 fills Byzantine outboxes, before routing), so a seeded :class:`FaultPlan`
-must produce bit-for-bit identical behaviour on the reference and batched
-engines — including identical *failures* when an injection trips a typed
-error. An empty plan must be indistinguishable from no plan at all.
+must produce bit-for-bit identical behaviour on every registered engine —
+reference, batched, and (when numpy is present) vector — including
+identical *failures* when an injection trips a typed error. An empty plan
+must be indistinguishable from no plan at all.
 """
 
 from __future__ import annotations
@@ -47,19 +48,22 @@ def _assert_engines_agree(algorithm, n, t, *, attack, seed, plan):
         )
         for engine in ENGINES
     }
-    (ref_engine, ref), (other_engine, other) = sorted(outcomes.items())
-    context = (
-        f"{algorithm} n={n} t={t} attack={attack} seed={seed} "
-        f"plan=[{plan.describe()}] engines={ref_engine}/{other_engine}"
+    ref = outcomes.pop("reference")
+    ref_chaos = (
+        ref[1].chaos.as_dict() if ref[0] == "ok" and ref[1].chaos else None
     )
-    assert ref[0] == other[0], f"{context}: {ref[0]} vs {other[0]}"
-    if ref[0] == "error":
-        assert ref[1:] == other[1:], context
-        return
-    assert_runs_identical(ref[1], other[1], context)
-    ref_chaos = ref[1].chaos.as_dict() if ref[1].chaos else None
-    other_chaos = other[1].chaos.as_dict() if other[1].chaos else None
-    assert ref_chaos == other_chaos, context
+    for other_engine, other in sorted(outcomes.items()):
+        context = (
+            f"{algorithm} n={n} t={t} attack={attack} seed={seed} "
+            f"plan=[{plan.describe()}] engines=reference/{other_engine}"
+        )
+        assert ref[0] == other[0], f"{context}: {ref[0]} vs {other[0]}"
+        if ref[0] == "error":
+            assert ref[1:] == other[1:], context
+            continue
+        assert_runs_identical(ref[1], other[1], context)
+        other_chaos = other[1].chaos.as_dict() if other[1].chaos else None
+        assert ref_chaos == other_chaos, context
 
 
 PLANS = [

@@ -1,15 +1,17 @@
-"""Cross-engine differential harness: batched ≡ reference, always.
+"""Cross-engine differential harness: every engine ≡ reference, always.
 
-The batched engine (:mod:`repro.sim.engine`) is only allowed to exist
-because it is *provably behaviour-identical* to the reference loop. This
-suite is that proof, in executable form:
+The batched engine (:mod:`repro.sim.engine`) and the numpy-backed vector
+engine (:mod:`repro.sim.engine_vector`) are only allowed to exist because
+they are *provably behaviour-identical* to the reference loop. This suite
+is that proof, in executable form:
 
 * every registered algorithm × every registered-meaningful attack, across
   a seed grid (2 seeds in tier-1, the full ≥20-seed grid nightly via the
-  ``slow`` marker) — full output/trace/metrics equality;
+  ``slow`` marker) — full output/trace/metrics equality for **every**
+  registered engine against the reference;
 * the knob cross-product: ``through_wire``, ``collect_metrics=False``,
   tracing on/off;
-* error identity: both engines raise the same exception types with the
+* error identity: all engines raise the same exception types with the
   same messages for round-limit overruns, protocol violations, and
   adversary misconfiguration;
 * hypothesis-driven fuzz-adversary runs where the *seed is the
@@ -17,7 +19,11 @@ suite is that proof, in executable form:
   ``run_registered(algorithm, ..., attack="fuzz", seed=<seed>, ...)``
   replays it deterministically (see docs/model.md).
 
-If an engine divergence ever appears, fix the batched engine — the
+The grid iterates ``engine_names()``, so it covers whatever is registered:
+without numpy the vector engine is absent and the suite degrades to the
+two pure-Python engines with no skips or failures.
+
+If an engine divergence ever appears, fix the non-reference engine — the
 reference loop is the specification.
 """
 
@@ -66,6 +72,10 @@ GRID = [
 FAST_SEEDS = range(2)
 FULL_SEEDS = range(20)
 
+#: All registered engines, pinned at import. ``reference`` is always first
+#: (it is the oracle every other engine is compared against).
+ALL_ENGINES = tuple(engine_names())
+
 
 def _compare(algorithm: str, attack: str, seed: int, **knobs) -> None:
     if algorithm not in SIZES:
@@ -78,13 +88,16 @@ def _compare(algorithm: str, attack: str, seed: int, **knobs) -> None:
         engine: run_registered(
             algorithm, n, t, attack=attack, seed=seed, engine=engine, **knobs
         )
-        for engine in ("reference", "batched")
+        for engine in ALL_ENGINES
     }
-    assert_runs_identical(
-        runs["reference"],
-        runs["batched"],
-        context=f"{algorithm}/{attack}/seed={seed}/{knobs}",
-    )
+    for engine, run in runs.items():
+        if engine == "reference":
+            continue
+        assert_runs_identical(
+            runs["reference"],
+            run,
+            context=f"{algorithm}/{attack}/seed={seed}/{engine}/{knobs}",
+        )
 
 
 @pytest.mark.parametrize("algorithm,attack", GRID)
@@ -125,9 +138,13 @@ def test_engines_identical_without_metrics():
             "alg1", 7, 2, attack="divergence", seed=1, engine=engine,
             collect_metrics=False,
         )
-        for engine in ("reference", "batched")
+        for engine in ALL_ENGINES
     }
-    assert_runs_identical(runs["reference"], runs["batched"], "no-metrics")
+    for engine, run in runs.items():
+        if engine != "reference":
+            assert_runs_identical(
+                runs["reference"], run, f"no-metrics/{engine}"
+            )
     for result in runs.values():
         assert result.metrics.correct_messages == 0
         assert result.metrics.correct_bits == 0
@@ -183,8 +200,9 @@ def _error_text(factory, engine, n=4):
 
 @pytest.mark.parametrize("factory", [_Forever, _BadLink, _NonMessage])
 def test_error_identity(factory):
-    """Same exception type, same message, from either engine."""
-    assert _error_text(factory, "reference") == _error_text(factory, "batched")
+    """Same exception type, same message, from every engine."""
+    texts = {_error_text(factory, engine) for engine in ALL_ENGINES}
+    assert len(texts) == 1, texts
 
 
 def test_adversary_as_correct_process_rejected_identically():
@@ -215,7 +233,13 @@ def test_unknown_engine_rejected():
 
 
 def test_registry_consistent():
-    assert engine_names() == ["batched", "reference"]
+    try:
+        import numpy  # noqa: F401 — probe only
+    except ImportError:
+        expected = ["batched", "reference"]
+    else:
+        expected = ["batched", "reference", "vector"]
+    assert engine_names() == expected
     for name in engine_names():
         assert resolve_engine(name).name == name
 
@@ -264,8 +288,10 @@ def test_engines_identical_large_n():
             engine: run_registered(
                 algorithm, n, t, attack=attack, seed=0, engine=engine
             )
-            for engine in ("reference", "batched")
+            for engine in ALL_ENGINES
         }
-        assert_runs_identical(
-            runs["reference"], runs["batched"], f"{algorithm}@{n}:{t}"
-        )
+        for engine, run in runs.items():
+            if engine != "reference":
+                assert_runs_identical(
+                    runs["reference"], run, f"{algorithm}@{n}:{t}/{engine}"
+                )

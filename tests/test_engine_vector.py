@@ -1,0 +1,215 @@
+"""Unit tests for the numpy-backed vector engine and its lazy inboxes.
+
+The behavioural contract (vector ≡ reference across the full algorithm ×
+attack × seed grid, under chaos, through the wire) lives in
+``test_engine_differential.py`` and ``test_chaos_differential.py`` — those
+suites iterate ``engine_names()`` and pick the vector engine up
+automatically. This file covers what the differential grids cannot see
+from the outside:
+
+* :class:`VectorInbox` Mapping semantics against a plain dict oracle —
+  contents, ascending-link iteration, ``KeyError`` behaviour (including
+  numpy's negative-index trap), equality, bool-key aliasing;
+* retained-inbox stability: a delivered view must keep showing its own
+  round after later rounds rebuild the dense layer;
+* mixed dense/overlay rounds (broadcast + targeted sends in one round)
+  observed from *inside* ``deliver`` via inbox snapshots;
+* the shared :meth:`RunMetrics.observe_send` accounting primitive
+  producing identical counters on all three engines;
+* the optional-dependency gate: an unregistered vector engine resolves to
+  a :class:`ConfigurationError` that names numpy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+import repro.sim.engine as engine_mod
+from helpers import assert_runs_identical, standard_ids
+from repro.core.messages import IdMessage
+from repro.sim import (
+    BROADCAST,
+    ConfigurationError,
+    Process,
+    engine_names,
+    resolve_engine,
+    run_protocol,
+)
+from repro.sim.engine_vector import VectorInbox
+
+ALL_ENGINES = tuple(engine_names())
+
+
+def _make_inbox():
+    """Process 0 of n=3: link 1 -> peer 1, link 2 -> peer 2, link 3 -> self.
+
+    Peer 0 (self) broadcast ``a``; peer 2's traffic arrived via the scalar
+    overlay as ``b``; peer 1 sent nothing. Expected view: {2: (b,), 3: (a,)}.
+    """
+    a, b = IdMessage(10), IdMessage(20)
+    peer_row = np.array([0, 1, 2, 0], dtype=np.intp)
+    dense = [(a,), None, None]
+    dense_mask = np.array([True, False, False])
+    inbox = VectorInbox(peer_row, dense, dense_mask, {2: (b,)})
+    return inbox, {2: (b,), 3: (a,)}
+
+
+class TestVectorInboxMapping:
+    def test_contents_match_dict_oracle(self):
+        inbox, oracle = _make_inbox()
+        assert dict(inbox) == oracle
+        assert list(inbox) == sorted(oracle)  # ascending link order
+        assert len(inbox) == len(oracle)
+        assert inbox.keys() == oracle.keys()
+        assert sorted(inbox.items()) == sorted(oracle.items())
+
+    def test_equality_both_ways(self):
+        inbox, oracle = _make_inbox()
+        assert inbox == oracle
+        assert oracle == inbox
+        assert inbox != {**oracle, 1: (IdMessage(9),)}
+        assert inbox != {}
+        assert inbox != "not a mapping"
+
+    def test_missing_links_raise_keyerror(self):
+        inbox, _ = _make_inbox()
+        for bad in (0, 1, 4, 99, BROADCAST, "2", None):
+            with pytest.raises(KeyError):
+                inbox[bad]
+            assert inbox.get(bad) is None
+
+    def test_negative_links_do_not_wrap_around(self):
+        # Plain dicts have no key -1; numpy rows index from the end. The
+        # guard must keep dict semantics.
+        inbox, _ = _make_inbox()
+        with pytest.raises(KeyError):
+            inbox[-1]
+
+    def test_bool_key_aliases_link_one(self):
+        # dict semantics: d[True] is d[1]. Link 1 carries dense traffic
+        # here, so True must resolve to it.
+        a = IdMessage(1)
+        peer_row = np.array([0, 1, 0], dtype=np.intp)
+        inbox = VectorInbox(
+            peer_row, [None, (a,)], np.array([False, True]), None
+        )
+        assert inbox[1] == (a,)
+        assert inbox[True] == (a,)
+
+
+class _RetainsInbox(Process):
+    """Broadcasts a round-tagged message; snapshots every inbox and checks
+    previously retained views never change as later rounds are routed."""
+
+    ROUNDS = 4
+
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        self.retained = []  # [(inbox, frozen snapshot), ...]
+
+    def send(self, round_no):
+        return self.broadcast(IdMessage(self.ctx.my_id * 100 + round_no))
+
+    def deliver(self, round_no, inbox):
+        for view, snapshot in self.retained:
+            assert dict(view) == snapshot, "retained inbox mutated"
+        self.retained.append((inbox, dict(inbox)))
+        if round_no == self.ROUNDS:
+            self.output_value = self.ctx.my_id
+
+
+def test_retained_inboxes_survive_later_rounds():
+    result = run_protocol(
+        _RetainsInbox, n=4, t=0, ids=standard_ids(4), seed=0, engine="vector"
+    )
+    for process in result.processes.values():
+        assert len(process.retained) == _RetainsInbox.ROUNDS
+        # Each round's view shows that round's messages, not the last one's.
+        for round_index, (_, snapshot) in enumerate(process.retained, start=1):
+            tags = {m.id % 100 for msgs in snapshot.values() for m in msgs}
+            assert tags == {round_index}
+
+
+class _MixedSender(Process):
+    """Broadcast + targeted point-to-point in one outbox (dense layer and
+    scalar overlay compose in the same round); snapshots what arrives."""
+
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        self.seen = []
+
+    def send(self, round_no):
+        outbox = self.broadcast(IdMessage(self.ctx.my_id))
+        if round_no == 2:
+            # Everyone also pokes link 1 directly — and the id-10 process
+            # goes overlay-only that round (no broadcast at all).
+            if self.ctx.my_id == 10:
+                return {1: [IdMessage(-1)], 2: [IdMessage(-2), IdMessage(-2)]}
+            outbox[1] = [IdMessage(-self.ctx.my_id)]
+        return outbox
+
+    def deliver(self, round_no, inbox):
+        self.seen.append((round_no, {k: tuple(inbox[k]) for k in inbox}))
+        if round_no == 3:
+            self.output_value = self.ctx.my_id
+
+
+def test_mixed_dense_and_overlay_rounds_match_reference():
+    runs = {}
+    for engine in ALL_ENGINES:
+        runs[engine] = run_protocol(
+            _MixedSender, n=5, t=0, ids=standard_ids(5), seed=0,
+            engine=engine, collect_trace=True,
+        )
+    reference = runs["reference"]
+    for engine, run in runs.items():
+        if engine == "reference":
+            continue
+        assert_runs_identical(reference, run, f"mixed/{engine}")
+        for index in reference.processes:
+            assert (
+                run.processes[index].seen == reference.processes[index].seen
+            ), f"inbox snapshots diverge on {engine} for process {index}"
+
+
+def test_observe_send_counters_identical_across_engines():
+    """Satellite regression: all engines account through one primitive, so
+    every traffic counter agrees to the bit."""
+    from helpers import run_registered
+
+    runs = {
+        engine: run_registered(
+            "alg4", 11, 2, attack="selective-echo", seed=5, engine=engine
+        )
+        for engine in ALL_ENGINES
+    }
+    reference = runs["reference"].metrics
+    for engine, run in runs.items():
+        metrics = run.metrics
+        assert metrics.correct_messages == reference.correct_messages, engine
+        assert metrics.correct_bits == reference.correct_bits, engine
+        assert metrics.byzantine_messages == reference.byzantine_messages, engine
+        assert metrics.peak_message_bits == reference.peak_message_bits, engine
+        assert [
+            (r.round_no, r.correct_messages, r.correct_bits, r.byzantine_messages)
+            for r in metrics.rounds
+        ] == [
+            (r.round_no, r.correct_messages, r.correct_bits, r.byzantine_messages)
+            for r in reference.rounds
+        ], engine
+
+
+def test_unregistered_vector_engine_explains_missing_numpy(monkeypatch):
+    """Simulate a numpy-less install: with the registry entry gone,
+    resolve_engine('vector') must name the missing dependency."""
+    monkeypatch.delitem(engine_mod.ENGINES, "vector")
+    assert "vector" not in engine_names()
+    with pytest.raises(ConfigurationError, match="requires numpy"):
+        resolve_engine("vector")
+
+
+def test_vector_engine_registered_and_resolvable():
+    assert "vector" in engine_names()
+    assert resolve_engine("vector").name == "vector"

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import hashlib
+import json
+
 import pytest
 
 from repro.analysis import (
@@ -15,6 +18,7 @@ from repro.analysis import (
 )
 from repro.analysis.executor import execute_task, resolve_workers
 from repro.analysis.export import export_csv
+from repro.sim import FaultPlan
 
 # 3 algorithms x 2 sizes x 2 attacks x 2 seeds = 24 configurations; the
 # crash baselines and alg1 all accept "silent" and "crash" and support
@@ -139,9 +143,67 @@ class TestResultCache:
                 algorithm="alg1", n=4, t=1, attack="silent", seed=0,
                 max_rounds=99,
             ),
+            RunTask(
+                algorithm="alg1", n=4, t=1, attack="silent", seed=0,
+                engine="reference",
+            ),
+            RunTask(
+                algorithm="alg1", n=4, t=1, attack="silent", seed=0,
+                monitor=True,
+            ),
+            RunTask(
+                algorithm="alg1", n=4, t=1, attack="silent", seed=0,
+                chaos=FaultPlan(seed=1, drop=0.1),
+            ),
+            RunTask(
+                algorithm="alg1", n=4, t=1, attack="silent", seed=0,
+                chaos=FaultPlan(seed=2, drop=0.1),
+            ),
+            RunTask(
+                algorithm="alg1", n=4, t=1, attack="silent", seed=0,
+                chaos=FaultPlan(seed=1, drop=0.1, extra_crashes=1),
+            ),
         ]
         keys = {cache.key(task) for task in [base] + variants}
         assert len(keys) == len(variants) + 1
+
+    def test_key_derives_from_task_payload(self):
+        """The key is built from ``to_dict`` itself, so a future RunTask
+        field participates by construction — no second field list to
+        forget to update."""
+        cache = ResultCache.__new__(ResultCache)
+        task = RunTask(algorithm="alg1", n=4, t=1, attack="silent", seed=0)
+        expected = hashlib.sha256(
+            json.dumps(
+                {"schema": ResultCache.SCHEMA, **task.to_dict()},
+                sort_keys=True,
+            ).encode("utf-8")
+        ).hexdigest()
+        assert cache.key(task) == expected
+
+    def test_schema_participates_in_key(self, monkeypatch):
+        cache = ResultCache.__new__(ResultCache)
+        task = RunTask(algorithm="alg1", n=4, t=1, attack="silent", seed=0)
+        before = cache.key(task)
+        monkeypatch.setattr(ResultCache, "SCHEMA", ResultCache.SCHEMA + 1)
+        assert cache.key(task) != before
+
+    def test_task_round_trips_with_chaos_and_monitor(self):
+        task = RunTask(
+            algorithm="alg1", n=7, t=2, attack="silent", seed=3,
+            monitor=True,
+            chaos=FaultPlan(seed=5, drop=0.2, crashes=((1, 2), (3, 4))),
+        )
+        assert RunTask.from_dict(task.to_dict()) == task
+
+    def test_default_task_payload_is_backward_compatible(self):
+        """Grids that never touch monitor/chaos keep their historical
+        journal fingerprints: the new keys only appear when non-default."""
+        payload = RunTask(
+            algorithm="alg1", n=4, t=1, attack="silent", seed=0
+        ).to_dict()
+        assert "monitor" not in payload
+        assert "chaos" not in payload
 
 
 class _Grid:
@@ -251,15 +313,18 @@ class TestCacheCorruption:
         path.write_bytes(path.read_bytes()[:40])
         assert cache.load(task) is None
 
-    def test_stale_schema_is_a_miss(self, tmp_path):
+    def test_stale_schema_is_a_logged_miss(self, tmp_path, caplog):
         import json
+        import logging
 
         cache, task = self._seed_entry(tmp_path)
         path = cache._path(task)
         envelope = json.loads(path.read_text())
         envelope["schema"] = ResultCache.SCHEMA - 1
         path.write_text(json.dumps(envelope))
-        assert cache.load(task) is None
+        with caplog.at_level(logging.WARNING, logger="repro.analysis.executor"):
+            assert cache.load(task) is None
+        assert any("stale schema" in message for message in caplog.messages)
 
     def test_checksum_mismatch_is_a_miss(self, tmp_path):
         import json

@@ -24,10 +24,11 @@ from repro.sim import (
     EnvelopeMessage,
     Multiplexer,
     Process,
+    engine_names,
     run_protocol,
 )
 
-ENGINES = ("reference", "batched")
+ENGINES = tuple(engine_names())
 
 
 class _OneShot(Process):
