@@ -16,6 +16,7 @@ from .campaign import (
     execute_chaos_task,
 )
 from .charts import bar_chart, decay_ratio, log_curve, step_curve
+from .coordinator import Coordinator, CoordinatorStats
 from .executor import (
     ExperimentSummary,
     ResultCache,
@@ -41,7 +42,22 @@ from .journal import (
     list_runs,
     scan_journal,
 )
-from .supervisor import CellBudget, CellFailure, SupervisorStats, WorkerSupervisor
+from .store import (
+    Claim,
+    LocalDirStore,
+    ResultStore,
+    SqliteStore,
+    open_store,
+    store_doctor,
+)
+from .supervisor import (
+    CellBudget,
+    CellFailure,
+    SupervisorStats,
+    WorkerSupervisor,
+    budget_breach,
+)
+from .worker import Worker, WorkerStats
 from .properties import PropertyReport, check_renaming
 from .serialization import RunArchive, dump_run, load_run, run_to_dict
 from .stats import Summary, fraction_true, median_of, ratios, summarise
@@ -60,23 +76,32 @@ __all__ = [
     "ChaosCampaign",
     "ChaosOutcome",
     "ChaosTask",
+    "Claim",
     "ClaimResult",
+    "Coordinator",
+    "CoordinatorStats",
     "ExperimentRecord",
     "ExperimentSummary",
     "JournalState",
+    "LocalDirStore",
     "PropertyReport",
     "ResultCache",
+    "ResultStore",
     "RunArchive",
     "RunJournal",
     "RunTask",
+    "SqliteStore",
     "Summary",
     "SupervisorStats",
     "SweepConfig",
     "SweepExecutor",
     "SweepStats",
     "TriageReport",
+    "Worker",
+    "WorkerStats",
     "WorkerSupervisor",
     "atomic_write_text",
+    "budget_breach",
     "banner",
     "bar_chart",
     "canonical_json",
@@ -85,7 +110,9 @@ __all__ = [
     "config_fingerprint",
     "execute_chaos_task",
     "list_runs",
+    "open_store",
     "scan_journal",
+    "store_doctor",
     "contraction_factors",
     "decay_ratio",
     "dump_run",

@@ -428,6 +428,9 @@ class ChaosCampaign:
         *,
         journal: Optional[RunJournal] = None,
         budget=None,
+        store=None,
+        coordinator_only: bool = False,
+        run_id: str = "fabric",
     ) -> TriageReport:
         """Execute every cell and return the :class:`TriageReport`.
 
@@ -442,8 +445,23 @@ class ChaosCampaign:
         budgets (``budget`` defaults to a wall budget of ``timeout_s``).
         SIGINT/SIGTERM drains in-flight cells, flushes the journal and
         raises :class:`~repro.sim.errors.RunInterrupted`.
+
+        ``store`` runs the campaign on the coordinator/worker fabric
+        instead (see :class:`~repro.analysis.coordinator.Coordinator`);
+        the store carries the run's durability, so ``journal`` and
+        ``store`` are mutually exclusive.
         """
+        if journal is not None and store is not None:
+            raise ValueError(
+                "journal= and store= are mutually exclusive: the store "
+                "fabric carries its own durability"
+            )
         start = time.perf_counter()
+        if store is not None:
+            return self._run_fabric(
+                tasks, store, budget, start,
+                coordinator_only=coordinator_only, run_id=run_id,
+            )
         if journal is not None:
             return self._run_journaled(tasks, journal, budget, start)
         results: List[Optional[ChaosOutcome]] = [None] * len(tasks)
@@ -463,6 +481,53 @@ class ChaosCampaign:
     def fingerprint(tasks: Sequence[ChaosTask]) -> str:
         """The campaign's config fingerprint (over the expanded grid)."""
         return config_fingerprint("chaos", [task.to_dict() for task in tasks])
+
+    # ---------------------------------------------------------------- fabric
+
+    def _run_fabric(
+        self,
+        tasks: Sequence[ChaosTask],
+        store,
+        budget,
+        start: float,
+        *,
+        coordinator_only: bool,
+        run_id: str,
+    ) -> TriageReport:
+        """The fabric path: cells pulled through store leases.
+
+        ``workers=1`` executes in-process with the serial path's exact
+        semantics (no timeout containment — reproducer-friendly). With
+        more workers the cells run in disposable child processes and
+        ``budget`` defaults to a wall budget of ``timeout_s``, mapping
+        onto the same ``timeout``/``crashed`` quarantine statuses as the
+        journaled path.
+        """
+        from .coordinator import Coordinator  # local: avoids the cycle
+        from .supervisor import CellBudget
+
+        if budget is None and (self.workers > 1 or coordinator_only):
+            budget = CellBudget(wall_s=self.timeout_s)
+        coordinator = Coordinator(
+            store,
+            workers=self.workers,
+            budget=budget,
+            retries=self.retries,
+            coordinator_only=coordinator_only,
+        )
+        outcomes = coordinator.run(
+            "chaos",
+            [task.to_dict() for task in tasks],
+            fingerprint=self.fingerprint(tasks),
+            run_id=run_id,
+        )
+        assert all(outcome is not None for outcome in outcomes)
+        return TriageReport(
+            outcomes=outcomes,
+            elapsed_s=time.perf_counter() - start,
+            retried=coordinator.stats.retried,
+            workers=self.workers,
+        )
 
     # --------------------------------------------------------------- durable
 

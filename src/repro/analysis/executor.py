@@ -49,8 +49,9 @@ from typing import (
 from ..sim import DEFAULT_ENGINE, FaultPlan
 from ..workloads.ids import make_ids
 from .experiments import ExperimentRecord, run_experiment
-from .journal import RunJournal, atomic_write_text, config_fingerprint
+from .journal import RunJournal, config_fingerprint
 from .properties import PropertyReport
+from .store import LocalDirStore
 
 __all__ = [
     "ExperimentSummary",
@@ -380,6 +381,11 @@ class ResultCache:
     The engine is part of the key even though all engines are proven to
     produce identical summaries: a cache hit must never mask an engine
     divergence that the differential suite would have caught.
+
+    Storage delegates to a flat-rooted
+    :class:`~repro.analysis.store.LocalDirStore` memo area — the cache *is*
+    the fabric's memo tier, and the on-disk files are byte-identical to the
+    pre-fabric layout, so existing caches keep hitting.
     """
 
     #: Bumped whenever key composition or entry layout changes (4: keys
@@ -388,7 +394,7 @@ class ResultCache:
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
+        self._store = LocalDirStore(self.root, memo_subdir="")
 
     def key(self, task: RunTask) -> str:
         payload = json.dumps(
@@ -407,26 +413,16 @@ class ResultCache:
         checksum, stale schema) is logged and treated as a miss so the
         configuration is recomputed.
         """
-        path = self._path(task)
+        key = self.key(task)
         try:
-            text = path.read_text()
-        except OSError:
-            return None  # plain miss: no entry
-        try:
-            payload = json.loads(text)
-            if not isinstance(payload, dict):
-                raise ValueError(f"entry is {type(payload).__name__}, not an object")
-            schema = payload.get("schema")
-            if schema != self.SCHEMA:
-                raise ValueError(f"stale schema {schema!r} (current {self.SCHEMA})")
-            body = payload["summary"]
-            checksum = payload.get("checksum")
-            if checksum != _summary_checksum(body):
-                raise ValueError("checksum mismatch (corrupt or tampered entry)")
+            body = self._store.load_memo(key, schema=self.SCHEMA)
+            if body is None:
+                return None  # plain miss: no entry
             summary = ExperimentSummary.from_dict(body)
         except (ValueError, KeyError, TypeError) as exc:
             logger.warning(
-                "discarding unusable cache entry %s (%s); recomputing", path.name, exc
+                "discarding unusable cache entry %s (%s); recomputing",
+                f"{key}.json", exc,
             )
             return None
         summary.cached = True
@@ -447,13 +443,9 @@ class ResultCache:
         """
         if summary.failed:
             return
-        body = summary.to_dict()
-        payload = {
-            "schema": self.SCHEMA,
-            "checksum": _summary_checksum(body),
-            "summary": body,
-        }
-        atomic_write_text(self._path(task), json.dumps(payload))
+        self._store.store_memo(
+            self.key(task), summary.to_dict(), schema=self.SCHEMA
+        )
 
 
 @dataclass
@@ -503,6 +495,9 @@ class SweepExecutor:
         *,
         journal: Optional[RunJournal] = None,
         budget=None,
+        store=None,
+        coordinator_only: bool = False,
+        run_id: str = "fabric",
     ) -> List[ExperimentSummary]:
         """Execute (or restore) every configuration in ``config``'s grid.
 
@@ -518,9 +513,28 @@ class SweepExecutor:
         (optionally with a per-cell ``budget``), so SIGINT/SIGTERM drains
         and raises :class:`~repro.sim.errors.RunInterrupted` instead of
         discarding in-flight work.
+
+        ``store`` (a store URL or
+        :class:`~repro.analysis.store.ResultStore`) runs the grid on the
+        coordinator/worker fabric instead: cells are seeded into the store
+        and executed by lease-claiming workers (in-process for
+        ``workers=1``, spawned subprocesses otherwise, or externally
+        started ones with ``coordinator_only=True``). The store carries
+        the run's durability, so ``journal`` and ``store`` are mutually
+        exclusive.
         """
+        if journal is not None and store is not None:
+            raise ValueError(
+                "journal= and store= are mutually exclusive: the store "
+                "fabric carries its own durability"
+            )
         start = time.perf_counter()
         tasks = self.tasks_for(config)
+        if store is not None:
+            return self._run_fabric(
+                tasks, store, budget, start,
+                coordinator_only=coordinator_only, run_id=run_id,
+            )
         if journal is not None:
             return self._run_journaled(tasks, journal, budget, start)
         results: List[Optional[ExperimentSummary]] = [None] * len(tasks)
@@ -576,6 +590,48 @@ class SweepExecutor:
     def fingerprint(tasks: Sequence[RunTask]) -> str:
         """The sweep's config fingerprint (over the expanded cell list)."""
         return config_fingerprint("sweep", [task.to_dict() for task in tasks])
+
+    def _run_fabric(
+        self,
+        tasks: List[RunTask],
+        store,
+        budget,
+        start: float,
+        *,
+        coordinator_only: bool,
+        run_id: str,
+    ) -> List[ExperimentSummary]:
+        """The fabric path: seed a store, let lease-claiming workers drain
+        it, stream the rows back. Ordering, caching, retry-once semantics
+        and failure rows all match the in-process paths, so the resulting
+        report is canonically identical."""
+        from .coordinator import Coordinator  # local: avoids the cycle
+
+        coordinator = Coordinator(
+            store,
+            workers=self.workers,
+            cache=self.cache,
+            run_hook=self.run_hook,
+            budget=budget,
+            coordinator_only=coordinator_only,
+        )
+        results = coordinator.run(
+            "sweep",
+            [task.to_dict() for task in tasks],
+            fingerprint=self.fingerprint(tasks),
+            run_id=run_id,
+        )
+        cstats = coordinator.stats
+        self.stats = SweepStats(
+            executed=cstats.executed,
+            from_cache=cstats.from_cache,
+            elapsed_s=time.perf_counter() - start,
+            retried=cstats.retried,
+            failed=cstats.failed,
+            restored=cstats.restored,
+            budget_kills=cstats.budget_kills,
+        )
+        return results
 
     def _run_journaled(
         self,

@@ -8,13 +8,12 @@ per run, flat columns, loadable by pandas/R/spreadsheets without adapters.
 from __future__ import annotations
 
 import csv
-import io
+import os
 from pathlib import Path
 from typing import Iterable, List, Union
 
 from .executor import ExperimentSummary
 from .experiments import ExperimentRecord
-from .journal import atomic_write_text
 
 #: Row types the exporter accepts: the slim transferable summary (what
 #: ``run_sweep`` returns) or the full in-process record — the schema reads
@@ -73,10 +72,19 @@ def export_csv(
     journal): a killed export leaves either the previous file or the
     complete new one, never a torn CSV that a downstream plot would
     silently truncate.
+
+    ``records`` is consumed lazily, one row at a time, straight into the
+    temp file — exporting a streamed fabric sweep holds O(1) rows in
+    memory no matter how many cells the grid has.
     """
-    buffer = io.StringIO(newline="")
-    writer = csv.writer(buffer)
-    writer.writerow(CSV_FIELDS)
-    for record in records:
-        writer.writerow(record_row(record))
-    return atomic_write_text(path, buffer.getvalue())
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(CSV_FIELDS)
+        for record in records:
+            writer.writerow(record_row(record))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return path

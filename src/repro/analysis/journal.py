@@ -78,8 +78,13 @@ __all__ = [
 JOURNAL_VERSION = 1
 
 #: Record types a journal may contain (stable set; scan rejects others).
+#: ``leased``/``reclaimed`` mirror the fabric's lease lifecycle (a worker
+#: claimed cell ``i`` / an expired lease on cell ``i`` was taken back) when
+#: a coordinator journals a distributed run — informational cell events,
+#: neither ``started`` nor terminal.
 RECORD_TYPES = (
     "header", "started", "finished", "failed", "quarantined", "interrupted",
+    "leased", "reclaimed",
 )
 
 #: Terminal per-cell record types: the cell needs no further execution.

@@ -56,6 +56,7 @@ __all__ = [
     "CellFailure",
     "SupervisorStats",
     "WorkerSupervisor",
+    "budget_breach",
     "rss_mb_of",
 ]
 
@@ -114,6 +115,43 @@ def rss_mb_of(pid: int) -> Optional[float]:
         return resident_pages * (os.sysconf("SC_PAGE_SIZE") / (1024 * 1024))
     except (OSError, ValueError, IndexError):
         return None
+
+
+def budget_breach(
+    budget: Optional[CellBudget],
+    *,
+    started_at: float,
+    pid: Optional[int] = None,
+    now: Optional[float] = None,
+) -> Optional[Tuple[str, str]]:
+    """``(kind, detail)`` when a cell has exceeded ``budget``, else ``None``.
+
+    The single budget-enforcement decision, shared by the in-process
+    supervisor's police loop and the fabric's pull-based workers
+    (:mod:`repro.analysis.worker`), so a wall/RSS breach produces the same
+    typed kind (``"wall-budget"`` / ``"rss-budget"``) and the same message
+    wherever the cell happens to run. ``started_at``/``now`` are
+    ``time.monotonic()`` values; ``pid`` enables the RSS axis.
+    """
+    if budget is None:
+        return None
+    if now is None:
+        now = time.monotonic()
+    if budget.wall_s is not None and now - started_at > budget.wall_s:
+        return (
+            "wall-budget",
+            f"ResourceBudgetExceeded: cell exceeded wall budget "
+            f"({budget.wall_s:g}s)",
+        )
+    if budget.rss_mb is not None and pid is not None:
+        rss = rss_mb_of(pid)
+        if rss is not None and rss > budget.rss_mb:
+            return (
+                "rss-budget",
+                f"ResourceBudgetExceeded: worker RSS {rss:.0f} MiB "
+                f"exceeded budget ({budget.rss_mb:g} MiB)",
+            )
+    return None
 
 
 def _worker_main(
@@ -418,23 +456,16 @@ class WorkerSupervisor:
                     f"worker heartbeat stalled for more than "
                     f"{self.stall_s:g}s (wedged process)", attempts + 1,
                 )
-            elif (
-                self.budget.wall_s is not None
-                and now - start > self.budget.wall_s
-            ):
-                failure = CellFailure(
-                    index, task, "wall-budget",
-                    f"ResourceBudgetExceeded: cell exceeded wall budget "
-                    f"({self.budget.wall_s:g}s)", attempts + 1,
+            else:
+                breach = budget_breach(
+                    self.budget,
+                    started_at=start,
+                    pid=slot.process.pid if slot.process else None,
+                    now=now,
                 )
-            elif self.budget.rss_mb is not None and slot.process is not None:
-                rss = rss_mb_of(slot.process.pid)
-                if rss is not None and rss > self.budget.rss_mb:
+                if breach is not None:
                     failure = CellFailure(
-                        index, task, "rss-budget",
-                        f"ResourceBudgetExceeded: worker RSS {rss:.0f} MiB "
-                        f"exceeded budget ({self.budget.rss_mb:g} MiB)",
-                        attempts + 1,
+                        index, task, breach[0], breach[1], attempts + 1
                     )
             if failure is None:
                 continue

@@ -67,6 +67,7 @@ def run_sweep(
     workers: Optional[int] = None,
     cache: Union[None, str, Path, ResultCache] = None,
     run_hook: Optional[Callable[[RunTask], None]] = None,
+    store=None,
 ) -> List[ExperimentSummary]:
     """Execute every configuration in the grid.
 
@@ -74,10 +75,13 @@ def run_sweep(
     serially in-process; results are ordered by configuration index either
     way, so the two paths produce identical tables and CSVs. ``cache`` (a
     directory or :class:`ResultCache`) skips configurations whose summaries
-    are already on disk. See :class:`repro.analysis.executor.SweepExecutor`.
+    are already on disk. ``store`` (a store URL or
+    :class:`~repro.analysis.store.ResultStore`) runs the grid on the
+    coordinator/worker fabric instead of a process pool — same rows, same
+    order. See :class:`repro.analysis.executor.SweepExecutor`.
     """
     executor = SweepExecutor(workers=workers, cache=cache, run_hook=run_hook)
-    return executor.run(config)
+    return executor.run(config, store=store)
 
 
 def group_by(

@@ -36,11 +36,13 @@ from .analysis import (
     scan_journal,
     summarize_views,
 )
+from .analysis.store import DEFAULT_LEASE_S
 from .sim import (
     ConfigurationError,
     DEFAULT_ENGINE,
     JournalError,
     RunInterrupted,
+    StoreError,
     engine_names,
 )
 from .workloads import get_scenario, make_ids, scenario_names, workload_names
@@ -112,6 +114,22 @@ def _add_durability_flags(command: argparse.ArgumentParser) -> None:
     command.add_argument(
         "--cell-rss", type=float, default=None, metavar="MB",
         help="per-cell worker RSS budget in MiB (supervised runs, Linux)",
+    )
+
+
+def _add_store_flags(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--store", metavar="URL", default=None,
+        help="run on the coordinator/worker fabric over a shared result "
+             "store: a directory path (or dir:PATH) for the file backend, "
+             "sqlite:PATH (or any .sqlite/.sqlite3/.db path) for the "
+             "sqlite backend; mutually exclusive with --journal",
+    )
+    command.add_argument(
+        "--coordinator-only", action="store_true",
+        help="with --store: seed the store and stream results but start no "
+             "workers — separately started 'repro-renaming worker --store "
+             "URL' processes execute the cells",
     )
 
 
@@ -231,6 +249,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--json", metavar="PATH", default=None,
                        help="also write the full triage report as JSON to PATH")
     _add_durability_flags(chaos)
+    _add_store_flags(chaos)
 
     sweep = commands.add_parser("sweep", help="run a configuration grid")
     sweep.add_argument("--algorithms", nargs="+", required=True, choices=sorted(ALGORITHMS))
@@ -256,6 +275,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_flag(sweep)
     _add_durability_flags(sweep)
+    _add_store_flags(sweep)
+
+    worker = commands.add_parser(
+        "worker",
+        help="pull-based fabric worker: claim cell leases from a shared "
+             "result store, execute them, push results back (start any "
+             "number of these against one store)",
+    )
+    worker.add_argument(
+        "--store", metavar="URL", required=True,
+        help="the result store to pull from (same URL forms as sweep "
+             "--store)",
+    )
+    worker.add_argument(
+        "--worker-id", default=None, metavar="NAME",
+        help="identity recorded on leases and events (default: host-pid)",
+    )
+    worker.add_argument(
+        "--lease", type=float, default=DEFAULT_LEASE_S, metavar="S",
+        help="cell lease duration in seconds (renewed at a third of this "
+             "while executing; a dead worker's cells are reclaimed after "
+             "one lease window)",
+    )
+    worker.add_argument(
+        "--poll", type=float, default=0.2, metavar="S",
+        help="sleep between claim attempts when no cell is claimable",
+    )
+    worker.add_argument(
+        "--wait-for-store", type=float, default=0.0, metavar="S",
+        help="block up to S seconds for the coordinator to seed the store "
+             "(default: require an already-seeded store)",
+    )
+    worker.add_argument(
+        "--max-idle", type=float, default=None, metavar="S",
+        help="exit after S seconds with no claimable cell while the store "
+             "is incomplete (default: wait forever)",
+    )
+    worker.add_argument(
+        "--cell-wall", type=float, default=None, metavar="S",
+        help="per-cell wall-clock budget (cells run in disposable child "
+             "processes; a breach SIGKILLs and quarantines the cell)",
+    )
+    worker.add_argument(
+        "--cell-rss", type=float, default=None, metavar="MB",
+        help="per-cell child RSS budget in MiB (Linux)",
+    )
 
     runs = commands.add_parser(
         "runs", help="manage durable (journaled) runs: list, resume, triage"
@@ -299,13 +364,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="triage a journal: crash set, quarantine reasons, budget "
              "kills, torn tail (reported and truncated safely)",
     )
-    runs_doctor.add_argument("run_id", type=_parse_run_id)
+    runs_doctor.add_argument("run_id", type=_parse_run_id, nargs="?",
+                             default=None)
     runs_doctor.add_argument("--runs-dir", default=DEFAULT_RUNS_DIR,
                              metavar="DIR")
     runs_doctor.add_argument(
+        "--store", metavar="URL", default=None,
+        help="triage a fabric result store instead of a journal: lease "
+             "health, reclaims, claim races, double executions",
+    )
+    runs_doctor.add_argument(
         "--assert-no-reexecution", action="store_true",
         help="exit with the infra code if any finished cell was "
-             "re-executed (the resume-smoke CI invariant)",
+             "re-executed (the resume-smoke and fabric-smoke CI invariant)",
     )
     return parser
 
@@ -488,6 +559,18 @@ def _finish_chaos(report, json_path: Optional[str]) -> int:
     return EXIT_OK if report.ok else EXIT_INFRA
 
 
+def _store_flags_error(args) -> Optional[str]:
+    """Validate the --store/--journal/--coordinator-only combination."""
+    if args.store is not None and args.journal is not None:
+        return (
+            "--journal and --store are mutually exclusive: the store "
+            "fabric carries its own durability"
+        )
+    if args.coordinator_only and args.store is None:
+        return "--coordinator-only requires --store"
+    return None
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     fault_axes = {
         "drop": tuple(args.drop),
@@ -518,7 +601,20 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     if not tasks:
         print("error: empty campaign grid", file=sys.stderr)
         return EXIT_INFRA
+    flag_error = _store_flags_error(args)
+    if flag_error is not None:
+        print(f"error: {flag_error}", file=sys.stderr)
+        return EXIT_INFRA
     campaign = ChaosCampaign(workers=args.workers, timeout_s=args.timeout)
+    if args.store is not None:
+        fingerprint = ChaosCampaign.fingerprint(tasks)
+        run_id = args.run_id or f"chaos-{fingerprint[:10]}"
+        print(f"fabric run {run_id!r} on store {args.store}")
+        report = campaign.run(
+            tasks, store=args.store, budget=_budget_from(args),
+            coordinator_only=args.coordinator_only, run_id=run_id,
+        )
+        return _finish_chaos(report, args.json)
     journal = None
     if args.journal is not None:
         fingerprint = ChaosCampaign.fingerprint(tasks)
@@ -627,7 +723,21 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         workload=args.workload,
         engine=args.engine,
     )
+    flag_error = _store_flags_error(args)
+    if flag_error is not None:
+        print(f"error: {flag_error}", file=sys.stderr)
+        return EXIT_INFRA
     executor = SweepExecutor(workers=args.workers, cache=args.cache)
+    if args.store is not None:
+        tasks = SweepExecutor.tasks_for(config)
+        fingerprint = SweepExecutor.fingerprint(tasks)
+        run_id = args.run_id or f"sweep-{fingerprint[:10]}"
+        print(f"fabric run {run_id!r} on store {args.store}")
+        records = executor.run(
+            config, store=args.store, budget=_budget_from(args),
+            coordinator_only=args.coordinator_only, run_id=run_id,
+        )
+        return _finish_sweep(records, executor, args.csv)
     journal = None
     if args.journal is not None:
         tasks = SweepExecutor.tasks_for(config)
@@ -663,6 +773,36 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         if journal is not None:
             journal.close()
     return _finish_sweep(records, executor, args.csv)
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    import signal
+
+    from .analysis import Worker
+
+    worker = Worker(
+        args.store,
+        worker_id=args.worker_id,
+        budget=_budget_from(args),
+        lease_s=args.lease,
+        poll_s=args.poll,
+        wait_store_s=args.wait_for_store,
+        max_idle_s=args.max_idle,
+    )
+
+    def _drain(signum, frame):  # noqa: ARG001 — signal handler signature
+        worker.stop()
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
+    stats = worker.run()
+    print(
+        f"worker {stats.worker_id} ({stats.kind}): {stats.claimed} claimed, "
+        f"{stats.completed} completed, {stats.failed} failed, "
+        f"{stats.retried} retried, {stats.budget_kills} budget-killed, "
+        f"{stats.lease_lost} lease(s) lost"
+    )
+    return EXIT_OK
 
 
 def cmd_runs_list(args: argparse.Namespace) -> int:
@@ -744,7 +884,87 @@ def cmd_runs_resume(args: argparse.Namespace) -> int:
         journal.close()
 
 
+def _store_doctor_report(args: argparse.Namespace) -> int:
+    from .analysis import open_store, store_doctor
+
+    store = open_store(args.store)
+    report = store_doctor(store)
+    header = report["header"]
+    if header is None:
+        print(f"error: store {store.url} is not seeded", file=sys.stderr)
+        return EXIT_INFRA
+    counts = report["counts"]
+    print(f"run {header['run_id']!r} ({header['kind']}), store {store.url}")
+    print(f"  fingerprint: {header.get('fingerprint', '?')[:16]}…")
+    print(
+        f"  cells:       {counts['cells']} total — {counts['finished']} "
+        f"finished, {counts['failed']} failed, {counts['quarantined']} "
+        f"quarantined, {counts['leased']} leased, {counts['pending']} "
+        f"pending"
+    )
+    if report["expired_leases"]:
+        print(
+            f"  expired:     leases on cells {report['expired_leases']} "
+            f"(dead workers — reclaimed on the next claim or policing pass)"
+        )
+    if report["orphaned_claims"]:
+        print(
+            f"  orphaned:    leases on terminal cells "
+            f"{report['orphaned_claims']} (worker died after its result "
+            f"landed; harmless)"
+        )
+    if report["reclaims"]:
+        print(
+            f"  reclaims:    {report['reclaims']} lease takeover(s) on "
+            f"cells {report['reclaimed_cells']}"
+        )
+    if report["double_claims"]:
+        print(
+            f"  claim races: {report['double_claims']} lost race(s) "
+            f"(no cell was executed twice for these)"
+        )
+    if report["stale_results"]:
+        print(
+            f"  stale:       {report['stale_results']} result(s) refused "
+            f"from taken-over workers (first durable result won)"
+        )
+    if report["exhausted_cells"]:
+        print(
+            f"  exhausted:   cells {report['exhausted_cells']} recorded as "
+            f"failed after repeated lease expiry"
+        )
+    if report["torn_results"]:
+        print(
+            f"  torn:        corrupt terminal records on cells "
+            f"{report['torn_results']} were dropped and re-executed"
+        )
+    if report["double_executions"]:
+        print(
+            f"  REEXECUTED:  cells {report['double_executions']} produced "
+            f"a second terminal result — the exactly-once discipline was "
+            f"violated"
+        )
+        if args.assert_no_reexecution:
+            return EXIT_INFRA
+    elif args.assert_no_reexecution:
+        print(
+            "  reexecution: none — every cell produced exactly one "
+            "terminal result"
+        )
+    print(
+        "  status:      "
+        + ("complete" if report["complete"] else "incomplete")
+    )
+    return EXIT_OK
+
+
 def cmd_runs_doctor(args: argparse.Namespace) -> int:
+    if args.store is not None:
+        return _store_doctor_report(args)
+    if args.run_id is None:
+        print("error: runs doctor needs a run_id or --store URL",
+              file=sys.stderr)
+        return EXIT_INFRA
     path = _journal_path(args.runs_dir, args.run_id)
     state = scan_journal(path)
     if state.header is None:
@@ -828,6 +1048,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     except JournalError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_INFRA
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_INFRA
     except RunInterrupted as exc:
         # Commands catch this themselves to print a resume hint; this is the
         # safety net for any journaled path that doesn't.
@@ -863,6 +1086,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return cmd_sweep(args)
     if args.command == "chaos":
         return cmd_chaos(args)
+    if args.command == "worker":
+        return cmd_worker(args)
     if args.command == "runs":
         return cmd_runs(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -44,12 +44,14 @@ from .engine import (
 from .errors import (
     ConfigurationError,
     JournalError,
+    LeaseLost,
     ProtocolViolationError,
     ResourceBudgetExceeded,
     RoundLimitExceeded,
     RunInterrupted,
     SafetyViolation,
     SimulationError,
+    StoreError,
 )
 from .faults import Adversary, AdversaryContext, NullAdversary, split_fault_slots
 from .messages import KIND_BITS, Message, int_bits, total_bits
@@ -88,6 +90,7 @@ __all__ = [
     "Inbox",
     "JournalError",
     "KIND_BITS",
+    "LeaseLost",
     "Message",
     "Multiplexer",
     "NullAdversary",
@@ -111,6 +114,7 @@ __all__ = [
     "SafetyPolicy",
     "SafetyViolation",
     "SimulationError",
+    "StoreError",
     "SynchronousNetwork",
     "TraceEvent",
     "TraceRecorder",

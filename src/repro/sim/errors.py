@@ -54,6 +54,30 @@ class JournalError(SimulationError):
     """
 
 
+class StoreError(SimulationError):
+    """A result store is unusable or was misused.
+
+    Raised when a store's header fingerprint does not match the grid being
+    seeded into it (two different runs must never share a store), when the
+    backend's own integrity checks fail mid-file (a corrupt header, an
+    unreadable database), or when a store URL cannot be parsed. A corrupt
+    *entry* is NOT a :class:`StoreError` — torn or tampered summaries are
+    logged, discarded and recomputed, mirroring the result cache.
+    """
+
+
+class LeaseLost(StoreError):
+    """A worker's cell lease expired and was taken over by someone else.
+
+    Raised from :meth:`~repro.analysis.store.ResultStore.renew` and the
+    terminal writes (``finish``/``fail``/``quarantine``) when the lease
+    token on record is no longer ours: the coordinator (or a peer worker)
+    decided we were dead and reassigned the cell. The correct reaction is
+    to drop the result — the store guarantees the cell's first durable
+    terminal record wins, so nothing is lost and nothing is double-counted.
+    """
+
+
 class RunInterrupted(SimulationError):
     """A supervised run was preempted (SIGINT/SIGTERM) and drained cleanly.
 
