@@ -3,13 +3,13 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-vector smoke chaos-smoke resume-smoke fabric-smoke bench-store
+.PHONY: test bench bench-vector smoke chaos-smoke resume-smoke fabric-smoke model-smoke bench-store
 
 ## Tier-1: the full unit/integration suite (what CI gates on).
 test:
 	$(PYTHON) -m pytest -x -q
 
-## Tier-2: the E1-E12 experiment suite; regenerates benchmarks/results/.
+## Tier-2: the E1-E13 experiment suite; regenerates benchmarks/results/.
 bench:
 	$(PYTHON) -m pytest -q benchmarks/
 
@@ -90,6 +90,33 @@ fabric-smoke:
 		--store sqlite:$(FABRIC_SMOKE_DIR)/store.db --assert-no-reexecution
 	cmp $(FABRIC_SMOKE_DIR)/control.csv $(FABRIC_SMOKE_DIR)/fabric.csv
 	rm -rf $(FABRIC_SMOKE_DIR)
+
+## System-model smoke: one canned scenario per non-classic model axis,
+## then one model sweep per execution path — the dir-cached process pool
+## (impersonation) and the sqlite store fabric with a pull-based worker
+## (partial synchrony) — so model serialization is exercised through
+## RunTask journals and store rows, not just in-process calls. Exit 0
+## means every run held the properties its model guarantees.
+MODEL_SMOKE_DIR := .model-smoke
+model-smoke:
+	rm -rf $(MODEL_SMOKE_DIR)
+	mkdir -p $(MODEL_SMOKE_DIR)
+	$(PYTHON) -m repro.cli scenario forged-senders --algorithm alg1
+	$(PYTHON) -m repro.cli scenario lossy-rounds --algorithm floodset
+	$(PYTHON) -m repro.cli sweep --algorithms alg1 okun-crash floodset \
+		--sizes 7:2 --seeds 0 1 --model impersonation:k=2 \
+		--workers 2 --cache $(MODEL_SMOKE_DIR)/cache
+	$(PYTHON) -m repro.cli sweep --algorithms floodset --sizes 7:2 \
+		--seeds 0 1 2 3 --model partial-synchrony:rate=0.05,delay=2 \
+		--store sqlite:$(MODEL_SMOKE_DIR)/store.db --coordinator-only \
+		& COORD=$$!; \
+	$(PYTHON) -m repro.cli worker \
+		--store sqlite:$(MODEL_SMOKE_DIR)/store.db --worker-id model-w1 \
+		--wait-for-store 60 & W1=$$!; \
+	wait $$COORD && wait $$W1
+	$(PYTHON) -m repro.cli runs doctor \
+		--store sqlite:$(MODEL_SMOKE_DIR)/store.db --assert-no-reexecution
+	rm -rf $(MODEL_SMOKE_DIR)
 
 ## Store throughput capture: claims/sec and streamed rows/sec at 10k
 ## cells on both backends, plus the bounded-memory proof — a 50k-cell

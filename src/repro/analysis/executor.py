@@ -46,7 +46,7 @@ from typing import (
     Union,
 )
 
-from ..sim import DEFAULT_ENGINE, FaultPlan
+from ..sim import DEFAULT_ENGINE, FaultPlan, SystemModel
 from ..workloads.ids import make_ids
 from .experiments import ExperimentRecord, run_experiment
 from .journal import RunJournal, config_fingerprint
@@ -85,9 +85,9 @@ class RunTask:
     Every semantics-affecting knob of :func:`execute_task` lives here;
     anything that can change a run's outcome must be a field so that
     :meth:`to_dict` (journal fingerprints) and :meth:`ResultCache.key`
-    (cache identity) see it. ``monitor`` and ``chaos`` serialise only
-    when non-default, so grids that never touch them keep their journal
-    fingerprints from earlier releases.
+    (cache identity) see it. ``monitor``, ``chaos`` and ``model``
+    serialise only when non-default, so grids that never touch them keep
+    their journal fingerprints from earlier releases.
     """
 
     algorithm: str
@@ -101,6 +101,7 @@ class RunTask:
     engine: str = DEFAULT_ENGINE
     monitor: bool = False
     chaos: Optional[FaultPlan] = None
+    model: Optional[SystemModel] = None
 
     def to_dict(self) -> dict:
         """JSON-ready cell description (journal headers, fingerprints)."""
@@ -127,6 +128,10 @@ class RunTask:
                 "extra_crashes": self.chaos.extra_crashes,
                 "crash_round": self.chaos.crash_round,
             }
+        # classic is the absent-field default, so an explicit classic model
+        # and "no model" hash to the same cache key (they run identically).
+        if self.model is not None and not self.model.is_classic:
+            payload["model"] = self.model.to_dict()
         return payload
 
     @classmethod
@@ -139,6 +144,9 @@ class RunTask:
                 tuple(entry) for entry in chaos.get("crashes", ())
             )
             payload["chaos"] = FaultPlan(**chaos)
+        model = payload.get("model")
+        if model is not None:
+            payload["model"] = SystemModel.from_dict(model)
         return cls(**payload)
 
 
@@ -260,6 +268,7 @@ class ExperimentSummary:
                 "violations": list(report.violations),
                 "beyond_model": report.beyond_model,
                 "injected": dict(report.injected),
+                "model": report.model,
             },
         }
 
@@ -293,6 +302,7 @@ class ExperimentSummary:
                 violations=list(report["violations"]),
                 beyond_model=report.get("beyond_model", False),
                 injected=dict(report.get("injected", {})),
+                model=report.get("model"),
             ),
         )
 
@@ -348,6 +358,7 @@ def execute_task(task: RunTask) -> ExperimentSummary:
         engine=task.engine,
         monitor=task.monitor,
         chaos=task.chaos,
+        model=task.model,
     )
     return summarize_record(
         record, workload=task.workload, elapsed_s=time.perf_counter() - start
@@ -388,9 +399,9 @@ class ResultCache:
     pre-fabric layout, so existing caches keep hitting.
     """
 
-    #: Bumped whenever key composition or entry layout changes (4: keys
-    #: derive from ``RunTask.to_dict`` and cover monitor/chaos).
-    SCHEMA = 4
+    #: Bumped whenever key composition or entry layout changes (5: keys
+    #: cover the system-model axis and summaries carry the report's model).
+    SCHEMA = 5
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
@@ -582,6 +593,7 @@ class SweepExecutor:
                 collect_trace=config.collect_trace,
                 max_rounds=config.max_rounds,
                 engine=getattr(config, "engine", DEFAULT_ENGINE),
+                model=getattr(config, "model", None),
             )
             for algorithm, n, t, attack, seed in config.configurations()
         ]

@@ -33,10 +33,12 @@ from ..core import (
 )
 from ..sim import (
     DEFAULT_ENGINE,
+    MODEL_KINDS,
     ConfigurationError,
     FaultPlan,
     RunResult,
     SafetyPolicy,
+    SystemModel,
     run_protocol,
 )
 from ..sim.process import ProcessContext
@@ -62,6 +64,12 @@ class AlgorithmSpec:
     #: Proven worst-case round bound (the safety monitor's watchdog budget);
     #: ``None`` where the paper/baseline proves no closed-form bound.
     round_budget: Optional[Callable[[SystemParams], int]] = None
+    #: System-model kinds the algorithm is meaningful under (see
+    #: :data:`repro.sim.MODEL_KINDS`). Default: every registered kind.
+    #: Pairings outside this list raise ``ConfigurationError`` from
+    #: :func:`run_experiment` and are filtered silently by sweeps — the
+    #: same contract ``attacks`` carries.
+    models: Sequence[str] = MODEL_KINDS
 
     def supports(self, n: int, t: int) -> bool:
         """True when (n, t) satisfies the algorithm's resilience condition."""
@@ -138,6 +146,12 @@ ALGORITHMS: Dict[str, AlgorithmSpec] = {
         order_preserving=True,
         attacks=ALG1_ATTACKS,
         regime=lambda p: p.tolerates_byzantine,
+        # The consensus baseline runs in the *identified* model: global
+        # identities are injected out of band, which presumes senders are
+        # authentic and links reliable. Forged-sender frames or lossy
+        # rounds void that premise rather than stress it, so non-classic
+        # models are meaningless pairings here.
+        models=("classic",),
     ),
 }
 
@@ -177,6 +191,7 @@ def run_experiment(
     enforce_regime: bool = True,
     monitor: bool = False,
     chaos: Optional[FaultPlan] = None,
+    model: Optional[SystemModel] = None,
 ) -> ExperimentRecord:
     """Execute one configuration and judge it.
 
@@ -206,6 +221,17 @@ def run_experiment(
     uniqueness breaks or the algorithm exceeds its proven round budget
     (:attr:`AlgorithmSpec.round_budget`). ``chaos`` injects a beyond-model
     :class:`~repro.sim.chaos.FaultPlan` (see :mod:`repro.sim.chaos`).
+
+    ``model`` (a :class:`~repro.sim.SystemModel`) selects the system model
+    the run executes under (see :mod:`repro.sim.model`); ``None`` means
+    classic. Like attacks, the pairing must be registered as meaningful
+    (:attr:`AlgorithmSpec.models`) or this raises
+    :class:`~repro.sim.errors.ConfigurationError` — sweeps filter such
+    pairings silently. Under a model whose expectations void the paper's
+    round budgets (partial synchrony withholds frames), ``monitor=True``
+    keeps the validity/uniqueness monitors but drops the round-budget
+    watchdog: exceeding a bound the model voided is a degradation to
+    record, not a monitor trip.
     """
     spec = ALGORITHMS[algorithm]
     if attack not in spec.attacks:
@@ -213,6 +239,12 @@ def run_experiment(
         raise ConfigurationError(
             f"attack {attack!r} is not meaningful against {algorithm!r}; "
             f"valid attacks: {valid}"
+        )
+    if model is not None and model.kind not in spec.models:
+        valid = ", ".join(spec.models)
+        raise ConfigurationError(
+            f"system model {model.describe()!r} is not meaningful for "
+            f"{algorithm!r}; valid model kinds: {valid}"
         )
     params = SystemParams(n, t)
     if enforce_regime and not spec.regime(params):
@@ -226,6 +258,8 @@ def run_experiment(
     safety = None
     if monitor:
         budget = spec.round_budget(params) if spec.round_budget is not None else None
+        if model is not None and not model.expectations().round_budget_holds:
+            budget = None
         safety = SafetyPolicy(namespace=bound, round_budget=budget)
     result = run_protocol(
         factory,
@@ -239,6 +273,7 @@ def run_experiment(
         engine=engine,
         chaos=chaos,
         safety=safety,
+        model=model,
     )
     report = check_renaming(result, bound)
     return ExperimentRecord(

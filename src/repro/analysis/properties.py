@@ -11,12 +11,22 @@ the report records ``beyond_model=True`` plus the injected-fault counters,
 and :meth:`PropertyReport.classification` maps each broken property to the
 fault families that were active — the post-hoc half of the safety story
 (the in-run half is :class:`~repro.sim.monitor.SafetyMonitor`).
+
+Model awareness: when the run executed under a non-inert
+:class:`~repro.sim.model.SystemModel` (:attr:`~repro.sim.runner.RunResult
+.model` carries its :class:`~repro.sim.model.ModelReport`), the report
+records the model's describe string plus its injection counters (``forge``,
+``omission``, ``late``) alongside any chaos counters, so
+:meth:`PropertyReport.classification` names the model's fault families too.
+Judging broken properties against what the model *promised* is
+:meth:`repro.sim.model.ModelExpectations.classify` — expectations live with
+the model registry, verdicts live here.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..sim.runner import RunResult
 
@@ -38,6 +48,9 @@ class PropertyReport:
     #: Injected-fault counters from the run's chaos report (empty when the
     #: run was clean).
     injected: Dict[str, int] = field(default_factory=dict)
+    #: Describe string of the run's system model (``None`` for classic /
+    #: inert runs). Model injection counters merge into :attr:`injected`.
+    model: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -79,6 +92,8 @@ class PropertyReport:
 
     def __str__(self) -> str:
         prefix = "[beyond-model] " if self.beyond_model else ""
+        if self.model is not None:
+            prefix = f"[model:{self.model}] " + prefix
         if self.ok:
             return f"{prefix}OK (names in [1..{self.namespace}])"
         return prefix + "; ".join(self.violations)
@@ -122,6 +137,19 @@ def check_renaming(
             "crash": len(chaos.crash_engaged),
         }
         report.injected = {k: v for k, v in counters.items() if v}
+    model_report = getattr(result, "model", None)
+    if model_report is not None:
+        report.model = model_report.model
+        counters = {
+            "forge": model_report.forged,
+            # A frame still in flight when the run ended is an omission as
+            # far as any process could tell.
+            "omission": model_report.omitted + model_report.undelivered,
+            "late": model_report.delivered_late,
+        }
+        report.injected.update(
+            {k: v for k, v in counters.items() if v}
+        )
 
     for original, output in sorted(malformed.items()):
         report.validity = False

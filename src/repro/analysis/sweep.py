@@ -23,7 +23,7 @@ from typing import (
     Union,
 )
 
-from ..sim import DEFAULT_ENGINE
+from ..sim import DEFAULT_ENGINE, SystemModel
 from .executor import ExperimentSummary, ResultCache, RunTask, SweepExecutor
 from .experiments import ALGORITHMS
 
@@ -35,7 +35,10 @@ class SweepConfig:
     ``sizes`` are (n, t) pairs; configurations an algorithm's resilience
     condition rejects are skipped (a sweep over mixed regimes is normal).
     ``engine`` selects the simulator round loop for every cell (see
-    :mod:`repro.sim.engine`); results are engine-independent.
+    :mod:`repro.sim.engine`); results are engine-independent. ``model``
+    (a :class:`~repro.sim.SystemModel`, ``None`` for classic) selects the
+    system model for every cell; algorithms not registered as meaningful
+    under the model's kind are skipped, mirroring the attack filter.
     """
 
     algorithms: Sequence[str]
@@ -46,11 +49,15 @@ class SweepConfig:
     collect_trace: bool = False
     max_rounds: int = 1000
     engine: str = DEFAULT_ENGINE
+    model: Optional[SystemModel] = None
 
     def configurations(self) -> Iterator[Tuple[str, int, int, str, int]]:
         """Yield runnable (algorithm, n, t, attack, seed) tuples."""
+        model_kind = "classic" if self.model is None else self.model.kind
         for algorithm in self.algorithms:
             spec = ALGORITHMS[algorithm]
+            if model_kind not in spec.models:
+                continue
             for n, t in self.sizes:
                 if not spec.supports(n, t):
                     continue

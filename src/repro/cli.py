@@ -43,7 +43,10 @@ from .sim import (
     JournalError,
     RunInterrupted,
     StoreError,
+    MODEL_KINDS,
+    SystemModel,
     engine_names,
+    parse_model,
 )
 from .workloads import get_scenario, make_ids, scenario_names, workload_names
 
@@ -133,6 +136,27 @@ def _add_store_flags(command: argparse.ArgumentParser) -> None:
     )
 
 
+def _parse_model_flag(text: str) -> SystemModel:
+    try:
+        return parse_model(text)
+    except ConfigurationError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _add_model_flag(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--model",
+        type=_parse_model_flag,
+        default=None,
+        metavar="SPEC",
+        help="system model to run under: classic (the paper's model, the "
+             "default), impersonation:k=K[,seed=S] (Okun-style forged-sender "
+             "frames), or partial-synchrony:rate=P[,delay=D][,seed=S] "
+             "(lossy rounds); for scenarios this overrides the scenario's "
+             "own model",
+    )
+
+
 def _add_engine_flag(command: argparse.ArgumentParser) -> None:
     command.add_argument(
         "--engine", default=DEFAULT_ENGINE, choices=engine_names(),
@@ -162,12 +186,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--attack", default="silent", choices=adversary_names())
     run.add_argument("--workload", default="uniform", choices=workload_names())
     run.add_argument("--seed", type=int, default=0)
+    _add_model_flag(run)
     _add_engine_flag(run)
 
     scenario = commands.add_parser("scenario", help="execute a canned scenario")
     scenario.add_argument("name", choices=scenario_names())
     scenario.add_argument("--algorithm", default="alg1", choices=sorted(ALGORITHMS))
     scenario.add_argument("--seed", type=int, default=0)
+    _add_model_flag(scenario)
     _add_engine_flag(scenario)
 
     commands.add_parser(
@@ -193,6 +219,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--save", metavar="PATH", default=None,
         help="archive the traced run as JSON for offline analysis",
     )
+    _add_model_flag(inspect)
     _add_engine_flag(inspect)
 
     replay = commands.add_parser(
@@ -273,6 +300,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="reuse cached results from DIR; only changed configurations "
              "are executed",
     )
+    _add_model_flag(sweep)
     _add_engine_flag(sweep)
     _add_durability_flags(sweep)
     _add_store_flags(sweep)
@@ -400,6 +428,11 @@ def _print_record(record) -> None:
             ]],
         )
     )
+    if report.model is not None:
+        injected = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(report.injected.items())
+        )
+        print(f"\nmodel {report.model}: injected {injected or 'nothing'}")
     print("\nnew names (original -> new):")
     for original, name in sorted(report.names.items()):
         print(f"  {original:>8} -> {name}")
@@ -410,6 +443,7 @@ def cmd_list() -> int:
     print("attacks:   ", ", ".join(adversary_names()))
     print("workloads: ", ", ".join(workload_names()))
     print("scenarios: ", ", ".join(scenario_names()))
+    print("models:    ", ", ".join(MODEL_KINDS))
     return 0
 
 
@@ -417,7 +451,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     ids = make_ids(args.workload, args.n, seed=args.seed)
     record = run_experiment(
         args.algorithm, args.n, args.t, ids, attack=args.attack, seed=args.seed,
-        engine=args.engine,
+        model=args.model, engine=args.engine,
     )
     _print_record(record)
     return EXIT_OK if record.report.ok_without_order() else EXIT_VIOLATION
@@ -426,6 +460,9 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_scenario(args: argparse.Namespace) -> int:
     scenario = get_scenario(args.name)
     print(f"{scenario.name}: {scenario.description}")
+    model = args.model if args.model is not None else parse_model(scenario.model)
+    if not model.is_classic:
+        print(f"model: {model.describe()}")
     ids = make_ids(scenario.workload, scenario.n, seed=args.seed)
     record = run_experiment(
         args.algorithm,
@@ -434,6 +471,7 @@ def cmd_scenario(args: argparse.Namespace) -> int:
         ids,
         attack=scenario.attack,
         seed=args.seed,
+        model=model,
         engine=args.engine,
     )
     _print_record(record)
@@ -497,6 +535,7 @@ def cmd_inspect(args: argparse.Namespace) -> int:
         attack=args.attack,
         seed=args.seed,
         collect_trace=True,
+        model=args.model,
         engine=args.engine,
     )
     print(render_timeline(record.result))
@@ -689,7 +728,7 @@ def _finish_sweep(records, executor, csv_path: Optional[str]) -> int:
 
 
 def _sweep_config_dict(config: SweepConfig) -> dict:
-    return {
+    payload = {
         "algorithms": list(config.algorithms),
         "sizes": [list(size) for size in config.sizes],
         "attacks": list(config.attacks),
@@ -699,9 +738,13 @@ def _sweep_config_dict(config: SweepConfig) -> dict:
         "max_rounds": config.max_rounds,
         "engine": config.engine,
     }
+    if config.model is not None:
+        payload["model"] = config.model.to_dict()
+    return payload
 
 
 def _sweep_config_from(payload: dict) -> SweepConfig:
+    model = payload.get("model")
     return SweepConfig(
         algorithms=payload["algorithms"],
         sizes=[tuple(size) for size in payload["sizes"]],
@@ -711,6 +754,7 @@ def _sweep_config_from(payload: dict) -> SweepConfig:
         collect_trace=payload["collect_trace"],
         max_rounds=payload["max_rounds"],
         engine=payload["engine"],
+        model=None if model is None else SystemModel.from_dict(model),
     )
 
 
@@ -722,6 +766,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         seeds=args.seeds,
         workload=args.workload,
         engine=args.engine,
+        model=args.model,
     )
     flag_error = _store_flags_error(args)
     if flag_error is not None:

@@ -56,6 +56,15 @@ from .errors import (
 from .faults import Adversary, AdversaryContext, NullAdversary, split_fault_slots
 from .messages import KIND_BITS, Message, int_bits, total_bits
 from .metrics import RoundMetrics, RunMetrics
+from .model import (
+    EXPECTATIONS,
+    MODEL_KINDS,
+    ModelExpectations,
+    ModelInjector,
+    ModelReport,
+    SystemModel,
+    parse_model,
+)
 from .monitor import SafetyMonitor, SafetyPolicy
 from .network import Delivery, SynchronousNetwork
 from .process import (
@@ -83,6 +92,7 @@ __all__ = [
     "DEFAULT_ENGINE",
     "Delivery",
     "ENGINES",
+    "EXPECTATIONS",
     "Engine",
     "EnvelopeMessage",
     "FaultPlan",
@@ -91,7 +101,11 @@ __all__ = [
     "JournalError",
     "KIND_BITS",
     "LeaseLost",
+    "MODEL_KINDS",
     "Message",
+    "ModelExpectations",
+    "ModelInjector",
+    "ModelReport",
     "Multiplexer",
     "NullAdversary",
     "Outbox",
@@ -116,6 +130,7 @@ __all__ = [
     "SimulationError",
     "StoreError",
     "SynchronousNetwork",
+    "SystemModel",
     "TraceEvent",
     "TraceRecorder",
     "VectorEngine",
@@ -126,6 +141,7 @@ __all__ = [
     "int_bits",
     "iter_inbox",
     "ordered_links",
+    "parse_model",
     "run_protocol",
     "split_fault_slots",
     "total_bits",

@@ -33,6 +33,7 @@ from .errors import ConfigurationError
 from .faults import Adversary, AdversaryContext, NullAdversary, split_fault_slots
 from .messages import int_bits
 from .metrics import RunMetrics
+from .model import ModelReport, SystemModel
 from .monitor import SafetyMonitor, SafetyPolicy
 from .network import SynchronousNetwork
 from .process import Process, ProcessContext
@@ -43,6 +44,27 @@ from .trace import TraceRecorder
 #: Builds a protocol instance from a context; the same factory serves correct
 #: processes and the adversary's "run the real protocol" strategies.
 ProcessFactory = Callable[[ProcessContext], Process]
+
+
+class _PerturbChain:
+    """Compose several perturb hooks at the engines' single hook point.
+
+    The engines accept exactly one ``chaos``-shaped hook; when a run carries
+    both a system model and a chaos plan, this chains them — model first
+    (it *defines* what the network delivers), chaos second (beyond-model
+    breakage applies to whatever network the model produced). Each stage
+    honours the no-input-mutation contract, so the chain does too.
+    """
+
+    def __init__(self, *hooks) -> None:
+        self._hooks = hooks
+
+    def perturb(self, round_no, correct_outboxes, byz_outboxes):
+        for hook in self._hooks:
+            correct_outboxes, byz_outboxes = hook.perturb(
+                round_no, correct_outboxes, byz_outboxes
+            )
+        return correct_outboxes, byz_outboxes
 
 
 @dataclass
@@ -60,6 +82,9 @@ class RunResult:
     #: What beyond-model fault injection actually did (``None`` when the run
     #: had no chaos plan — the overwhelmingly common case).
     chaos: Optional[ChaosReport] = None
+    #: What the system model's injector actually did (``None`` when the run
+    #: used the classic model or an inert parameterization).
+    model: Optional[ModelReport] = None
 
     @property
     def correct(self) -> Tuple[int, ...]:
@@ -105,6 +130,7 @@ def run_protocol(
     topology_seed: Optional[int] = None,
     chaos: Optional[FaultPlan] = None,
     safety: Optional[SafetyPolicy] = None,
+    model: Optional[SystemModel] = None,
 ) -> RunResult:
     """Execute one synchronous run and return its :class:`RunResult`.
 
@@ -140,6 +166,15 @@ def run_protocol(
     :class:`~repro.sim.monitor.SafetyPolicy`) attaches a runtime monitor
     that aborts property-violating or over-budget runs with a typed
     :class:`~repro.sim.errors.SafetyViolation`.
+
+    ``model`` (a :class:`~repro.sim.model.SystemModel`) selects the system
+    model the run executes under — ``classic`` (the paper's, the default),
+    ``impersonation(k)`` or ``partial_synchrony(rate, max_delay)``. A
+    non-inert model compiles into an injector sharing the chaos hook (model
+    first — it *defines* the network; chaos then breaks it), so all engines
+    stay behaviour-identical under every model; an inert model installs
+    nothing and the run is bit-identical to a model-free one. The model's
+    record lands on :attr:`RunResult.model`.
     """
     if n < 1:
         raise ConfigurationError(f"need at least one process, got n={n}")
@@ -194,6 +229,13 @@ def run_protocol(
     injector = None
     if chaos is not None and not chaos.is_empty:
         injector = ChaosInjector(chaos, n=n, byzantine=byz)
+    model_injector = None
+    if model is not None:
+        model_injector = model.build_injector(n=n, byzantine=byz)
+    if model_injector is not None and injector is not None:
+        hook = _PerturbChain(model_injector, injector)
+    else:
+        hook = model_injector if model_injector is not None else injector
     monitor = None
     if safety is not None:
         monitor = SafetyMonitor(safety, ids=id_of, trace=trace)
@@ -207,7 +249,7 @@ def run_protocol(
         through_wire=through_wire,
         max_rounds=max_rounds,
         collect_metrics=collect_metrics,
-        chaos=injector,
+        chaos=hook,
         monitor=monitor,
     )
 
@@ -222,4 +264,5 @@ def run_protocol(
         trace=trace,
         processes=processes,
         chaos=injector.report if injector is not None else None,
+        model=model_injector.report if model_injector is not None else None,
     )

@@ -1,8 +1,11 @@
-"""Canned end-to-end scenarios: (workload, size, attack) bundles with intent.
+"""Canned end-to-end scenarios: (workload, size, attack, model) bundles.
 
 Examples and integration tests reference scenarios by name so that "the
 saturation worst case" or "the crash-heavy run" means the same configuration
-everywhere.
+everywhere. ``model`` is a :func:`repro.sim.parse_model` spec string
+(``"classic"`` for the paper's model — the default); scenarios carry the
+spec rather than a :class:`~repro.sim.SystemModel` so the table stays a
+plain-string artifact (CLI help, docs, JSON) and parsing stays in one place.
 """
 
 from __future__ import annotations
@@ -21,6 +24,8 @@ class Scenario:
     t: int
     workload: str
     attack: str
+    #: System-model spec (see :func:`repro.sim.parse_model`).
+    model: str = "classic"
 
     @property
     def size(self) -> Tuple[int, int]:
@@ -105,6 +110,32 @@ _SCENARIOS: Dict[str, Scenario] = {
             t=3,
             workload="clustered",
             attack="fuzz",
+        ),
+        Scenario(
+            name="forged-senders",
+            description=(
+                "Okun-style impersonation: an external adversary injects 2 "
+                "forged-sender frames per round through the real codec, "
+                "without corrupting any process."
+            ),
+            n=7,
+            t=2,
+            workload="uniform",
+            attack="silent",
+            model="impersonation:k=2",
+        ),
+        Scenario(
+            name="lossy-rounds",
+            description=(
+                "Partial synchrony: each network transmission is "
+                "independently delayed up to 2 rounds (or lost at run end) "
+                "with probability 0.05."
+            ),
+            n=7,
+            t=2,
+            workload="uniform",
+            attack="silent",
+            model="partial-synchrony:rate=0.05,delay=2",
         ),
         Scenario(
             name="sustained-divergence",

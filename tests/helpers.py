@@ -8,7 +8,7 @@ from typing import Optional
 
 from repro.adversary import make_adversary
 from repro.analysis import ALGORITHMS, check_renaming
-from repro.sim import RunResult, run_protocol
+from repro.sim import RunResult, SystemModel, run_protocol
 
 
 def assert_renaming_ok(
@@ -42,13 +42,14 @@ def run_registered(
     collect_metrics: bool = True,
     topology_seed: Optional[int] = None,
     max_rounds: int = 1000,
+    model: Optional[SystemModel] = None,
 ) -> RunResult:
     """One registered-algorithm run with every engine-relevant knob exposed.
 
     The differential and metamorphic suites drive :func:`run_protocol`
     directly (not :func:`~repro.analysis.experiments.run_experiment`) so
-    they can vary ``engine`` / ``topology_seed`` / ``collect_metrics``
-    while reusing the registry's factories and attack lists.
+    they can vary ``engine`` / ``topology_seed`` / ``collect_metrics`` /
+    ``model`` while reusing the registry's factories and attack lists.
     """
     spec = ALGORITHMS[algorithm]
     if ids is None:
@@ -66,6 +67,7 @@ def run_registered(
         collect_metrics=collect_metrics,
         topology_seed=topology_seed,
         max_rounds=max_rounds,
+        model=model,
     )
 
 

@@ -18,7 +18,7 @@ from repro.analysis import (
 )
 from repro.analysis.executor import execute_task, resolve_workers
 from repro.analysis.export import export_csv
-from repro.sim import FaultPlan
+from repro.sim import FaultPlan, SystemModel
 
 # 3 algorithms x 2 sizes x 2 attacks x 2 seeds = 24 configurations; the
 # crash baselines and alg1 all accept "silent" and "crash" and support
@@ -115,6 +115,29 @@ class TestResultCache:
         assert executor.stats.executed == 12
         assert all(r.seed == 2 for r in records if not r.cached)
 
+    def test_changed_model_misses_the_whole_grid(self, tmp_path):
+        """The model axis is part of the key: a grid re-run under a
+        different model shares nothing with the classic cache."""
+        cache = ResultCache(tmp_path / "cache")
+        grid = SweepConfig(
+            algorithms=["floodset"], sizes=[(5, 1)], seeds=(0, 1),
+        )
+        SweepExecutor(workers=1, cache=cache).run(grid)
+
+        lossy = SweepConfig(
+            algorithms=["floodset"], sizes=[(5, 1)], seeds=(0, 1),
+            model=SystemModel.partial_synchrony(0.1),
+        )
+        executor = SweepExecutor(workers=1, cache=cache)
+        executor.run(lossy)
+        assert executor.stats.from_cache == 0
+        assert executor.stats.executed == 2
+
+        warm = SweepExecutor(workers=1, cache=cache)
+        warm.run(lossy)
+        assert warm.stats.from_cache == 2
+        assert warm.stats.executed == 0
+
     def test_corrupt_entry_is_a_miss(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
         task = RunTask(algorithm="alg1", n=4, t=1, attack="silent", seed=0)
@@ -163,6 +186,26 @@ class TestResultCache:
                 algorithm="alg1", n=4, t=1, attack="silent", seed=0,
                 chaos=FaultPlan(seed=1, drop=0.1, extra_crashes=1),
             ),
+            RunTask(
+                algorithm="alg1", n=4, t=1, attack="silent", seed=0,
+                model=SystemModel.impersonation(2),
+            ),
+            RunTask(
+                algorithm="alg1", n=4, t=1, attack="silent", seed=0,
+                model=SystemModel.impersonation(3),
+            ),
+            RunTask(
+                algorithm="alg1", n=4, t=1, attack="silent", seed=0,
+                model=SystemModel.impersonation(2, seed=1),
+            ),
+            RunTask(
+                algorithm="alg1", n=4, t=1, attack="silent", seed=0,
+                model=SystemModel.partial_synchrony(0.1),
+            ),
+            RunTask(
+                algorithm="alg1", n=4, t=1, attack="silent", seed=0,
+                model=SystemModel.partial_synchrony(0.1, max_delay=2),
+            ),
         ]
         keys = {cache.key(task) for task in [base] + variants}
         assert len(keys) == len(variants) + 1
@@ -196,14 +239,34 @@ class TestResultCache:
         )
         assert RunTask.from_dict(task.to_dict()) == task
 
+    def test_task_round_trips_with_model(self):
+        task = RunTask(
+            algorithm="floodset", n=5, t=1, attack="silent", seed=3,
+            model=SystemModel.partial_synchrony(0.1, max_delay=2, seed=4),
+        )
+        assert RunTask.from_dict(task.to_dict()) == task
+
     def test_default_task_payload_is_backward_compatible(self):
-        """Grids that never touch monitor/chaos keep their historical
+        """Grids that never touch monitor/chaos/model keep their historical
         journal fingerprints: the new keys only appear when non-default."""
         payload = RunTask(
             algorithm="alg1", n=4, t=1, attack="silent", seed=0
         ).to_dict()
         assert "monitor" not in payload
         assert "chaos" not in payload
+        assert "model" not in payload
+
+    def test_explicit_classic_model_keys_like_no_model(self):
+        """model=classic is the absence of a model; spelling it out must
+        not split the cache."""
+        cache = ResultCache.__new__(ResultCache)
+        bare = RunTask(algorithm="alg1", n=4, t=1, attack="silent", seed=0)
+        classic = RunTask(
+            algorithm="alg1", n=4, t=1, attack="silent", seed=0,
+            model=SystemModel.classic(),
+        )
+        assert "model" not in classic.to_dict()
+        assert cache.key(classic) == cache.key(bare)
 
 
 class _Grid:
