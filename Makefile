@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-vector smoke chaos-smoke resume-smoke fabric-smoke model-smoke bench-store
+.PHONY: test bench bench-vector smoke chaos-smoke resume-smoke fabric-smoke model-smoke bench-store service-smoke bench-service
 
 ## Tier-1: the full unit/integration suite (what CI gates on).
 test:
@@ -117,6 +117,46 @@ model-smoke:
 	$(PYTHON) -m repro.cli runs doctor \
 		--store sqlite:$(MODEL_SMOKE_DIR)/store.db --assert-no-reexecution
 	rm -rf $(MODEL_SMOKE_DIR)
+
+## Service smoke: the renaming daemon under real load and a real SIGTERM.
+## Starts the daemon on an ephemeral port (the port file is the
+## handshake), drives a 1500-session burst at 500 concurrent sessions —
+## every completed session's assignment is re-validated client-side
+## against check_renaming, so exit 0 is a correctness statement, not just
+## liveness — then SIGTERMs the daemon mid-way through a second load and
+## asserts the drain contract: the late load must not observe an invalid
+## certificate (exit 2) and the daemon must exit 0 (drained clean) or 4
+## (sessions shed), never crash.
+SERVICE_SMOKE_DIR := .service-smoke
+service-smoke:
+	rm -rf $(SERVICE_SMOKE_DIR)
+	mkdir -p $(SERVICE_SMOKE_DIR)
+	$(PYTHON) -m repro.cli serve --port 0 \
+		--port-file $(SERVICE_SMOKE_DIR)/port \
+		--max-sessions 600 --session-deadline 30 --idle-timeout 30 \
+		--drain-grace 60 & SRV=$$!; \
+	for i in $$(seq 200); do \
+		[ -s $(SERVICE_SMOKE_DIR)/port ] && break; sleep 0.1; done; \
+	$(PYTHON) -m repro.cli load --port-file $(SERVICE_SMOKE_DIR)/port \
+		--sessions 1500 --concurrency 500 --ids 8 \
+		--report $(SERVICE_SMOKE_DIR)/burst.txt; BURST=$$?; \
+	$(PYTHON) -m repro.cli load --port-file $(SERVICE_SMOKE_DIR)/port \
+		--sessions 600 --concurrency 200 --ids 8 \
+		--report $(SERVICE_SMOKE_DIR)/drain.txt & LOADGEN=$$!; \
+	sleep 0.5; kill -TERM $$SRV; \
+	wait $$LOADGEN; DRAINLOAD=$$?; \
+	wait $$SRV; SERVE=$$?; \
+	echo "service-smoke: burst=$$BURST drain-load=$$DRAINLOAD serve=$$SERVE"; \
+	[ $$BURST -eq 0 ] && [ $$DRAINLOAD -ne 2 ] && \
+		{ [ $$SERVE -eq 0 ] || [ $$SERVE -eq 4 ]; }
+	rm -rf $(SERVICE_SMOKE_DIR)
+
+## Service throughput capture: sessions/sec and p50/p99 session latency
+## for burst, sustained, and adversarial scenarios over loopback TCP.
+## Rewrites benchmarks/results/service_load.txt.
+bench-service:
+	$(PYTHON) benchmarks/bench_service_load.py \
+		--out benchmarks/results/service_load.txt
 
 ## Store throughput capture: claims/sec and streamed rows/sec at 10k
 ## cells on both backends, plus the bounded-memory proof — a 50k-cell

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Service throughput: concurrent renaming sessions through the daemon.
+
+Standalone capture script (``make bench-service``), not a pytest bench:
+the numbers are environment-bound and get checked in to
+``benchmarks/results/service_load.txt`` as *expectations*, like the store
+throughput capture.
+
+The daemon (:class:`repro.service.server.RenamingService`) and the load
+generator (:func:`repro.service.load.run_load`) run in one process over a
+loopback socket — real frames, real TCP, real per-session algorithm runs
+with the certificate validated server-side *and* re-checked client-side.
+Reported per configuration: sessions/s plus p50/p99 session latency.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from pathlib import Path
+
+sys.path.insert(
+    0, str(Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.service.load import run_load  # noqa: E402
+from repro.service.server import RenamingService  # noqa: E402
+
+#: (label, sessions, concurrency, ids per session, t, attack)
+SCENARIOS = [
+    ("burst-small", 400, 100, 8, 0, "silent"),
+    ("burst-wide", 400, 100, 16, 0, "silent"),
+    ("sustained", 1000, 64, 8, 0, "silent"),
+    ("adversarial", 200, 50, 11, 2, "conforming"),
+]
+
+
+async def run_scenario(label, sessions, concurrency, ids, t, attack):
+    service = RenamingService(
+        max_sessions=max(concurrency, 64),
+        session_deadline_s=30.0,
+        idle_timeout_s=30.0,
+        install_signal_handlers=False,
+    )
+    await service.start()
+    host, port = service.bound_address
+    runner = asyncio.create_task(service.serve_forever())
+    try:
+        report = await run_load(
+            host,
+            port,
+            sessions=sessions,
+            concurrency=concurrency,
+            ids_per_session=ids,
+            t=t,
+            attack=attack,
+        )
+    finally:
+        service.initiate_drain()
+        exit_code = await runner
+    if report.exit_code() != 0 or exit_code != 0:
+        raise SystemExit(
+            f"{label}: load exit {report.exit_code()}, serve exit "
+            f"{exit_code}, counts {report.counts}"
+        )
+    return (
+        f"{label:<12} sessions={sessions:<5} conc={concurrency:<4} "
+        f"ids={ids:<3} t={t} "
+        f"throughput={report.sessions_per_sec:8.1f}/s "
+        f"p50={report.p50_s * 1000:7.1f}ms p99={report.p99_s * 1000:7.1f}ms"
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).parent / "results" / "service_load.txt"),
+    )
+    args = parser.parse_args()
+
+    lines = [
+        "# Renaming-as-a-service load capture (loopback TCP, one host).",
+        "# Every session's certificate is validated server-side and the",
+        "# assignment re-checked client-side before it counts as complete.",
+    ]
+    for scenario in SCENARIOS:
+        line = asyncio.run(run_scenario(*scenario))
+        print(line)
+        lines.append(line)
+    Path(args.out).write_text("\n".join(lines) + "\n")
+    print(f"\nwritten to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

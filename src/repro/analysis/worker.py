@@ -170,6 +170,51 @@ class WorkerStats:
     extras: Dict[str, int] = field(default_factory=dict)
 
 
+class PollBackoff:
+    """Jittered exponential backoff for the worker's idle poll.
+
+    A fixed idle sleep makes every starved worker in a fleet hammer the
+    store in lockstep; full jitter (AWS-style) spreads the probes and backs
+    off exponentially while nothing is claimable. ``floor_s`` (the old
+    ``--poll``) stays the minimum — the first idle sleep is never shorter
+    than before — and ``cap_s`` bounds how lazy a starved worker may get,
+    so a reclaimed lease is picked up within one cap window.
+
+    :meth:`reset` (called on every successful claim) drops back to the
+    floor; ``rng`` is injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        floor_s: float,
+        cap_s: float = 5.0,
+        *,
+        rng: Optional[Callable[[float, float], float]] = None,
+    ) -> None:
+        if floor_s <= 0:
+            raise ValueError(f"floor_s must be positive, got {floor_s}")
+        if cap_s < floor_s:
+            raise ValueError(
+                f"cap_s ({cap_s}) must be at least floor_s ({floor_s})"
+            )
+        self.floor_s = floor_s
+        self.cap_s = cap_s
+        self._attempts = 0
+        if rng is None:
+            import random
+
+            rng = random.uniform
+        self._rng = rng
+
+    def reset(self) -> None:
+        self._attempts = 0
+
+    def next_delay(self) -> float:
+        ceiling = min(self.cap_s, self.floor_s * (2 ** self._attempts))
+        self._attempts += 1
+        return self._rng(self.floor_s, ceiling)
+
+
 def _cell_main(kind: str, payload: dict, result_q) -> None:
     """Child-process body for budget-isolated execution: one attempt."""
     runner = RUNNERS[kind]
@@ -205,9 +250,11 @@ class Worker:
         retries: int = 1,
         lease_s: float = DEFAULT_LEASE_S,
         poll_s: float = 0.2,
+        poll_cap_s: float = 5.0,
         wait_store_s: float = 0.0,
         max_idle_s: Optional[float] = None,
         run_hook: Optional[Callable[[Any], None]] = None,
+        poll_rng: Optional[Callable[[float, float], float]] = None,
     ) -> None:
         self.store: ResultStore = open_store(store)
         self.worker_id = worker_id or default_worker_id()
@@ -217,6 +264,7 @@ class Worker:
             raise ValueError(f"lease_s must be positive, got {lease_s}")
         self.lease_s = lease_s
         self.poll_s = poll_s
+        self.backoff = PollBackoff(poll_s, max(poll_s, poll_cap_s), rng=poll_rng)
         self.wait_store_s = wait_store_s
         self.max_idle_s = max_idle_s
         self.run_hook = run_hook
@@ -266,9 +314,16 @@ class Worker:
                         "exiting", self.worker_id, self.max_idle_s,
                     )
                     break
-                time.sleep(self.poll_s)
+                delay = self.backoff.next_delay()
+                if self.max_idle_s is not None:
+                    # Never sleep past the idle deadline checked above.
+                    delay = min(
+                        delay, max(0.0, idle_since + self.max_idle_s - now)
+                    )
+                time.sleep(delay)
                 continue
             idle_since = None
+            self.backoff.reset()
             self.stats.claimed += 1
             if self.run_hook is not None:
                 self.run_hook(runner.decode(claim.task))

@@ -328,7 +328,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     worker.add_argument(
         "--poll", type=float, default=0.2, metavar="S",
-        help="sleep between claim attempts when no cell is claimable",
+        help="floor of the idle backoff between claim attempts (the sleep "
+             "grows with jittered exponential backoff while nothing is "
+             "claimable and resets on a successful claim)",
+    )
+    worker.add_argument(
+        "--poll-cap", type=float, default=5.0, metavar="S",
+        help="ceiling of the idle backoff between claim attempts",
     )
     worker.add_argument(
         "--wait-for-store", type=float, default=0.0, metavar="S",
@@ -348,6 +354,103 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument(
         "--cell-rss", type=float, default=None, metavar="MB",
         help="per-cell child RSS budget in MiB (Linux)",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the renaming session daemon: accept concurrent sessions "
+             "over TCP, run the selected algorithm per session, return "
+             "names plus a validated property certificate",
+    )
+    serve.add_argument("--host", default="127.0.0.1", metavar="ADDR")
+    serve.add_argument(
+        "--port", type=int, default=7341, metavar="PORT",
+        help="listen port (0 picks a free port; see --port-file)",
+    )
+    serve.add_argument(
+        "--port-file", default=None, metavar="PATH",
+        help="write the bound host:port to PATH once listening (handshake "
+             "for scripts that start the daemon with --port 0)",
+    )
+    serve.add_argument(
+        "--max-sessions", type=int, default=64, metavar="K",
+        help="admission bound: additional connections get a typed "
+             "ServerBusy frame instead of queueing silently",
+    )
+    serve.add_argument(
+        "--session-deadline", type=float, default=5.0, metavar="S",
+        help="per-session wall budget; expiry closes the quorum with the "
+             "ids registered so far (or rejects an empty session)",
+    )
+    serve.add_argument(
+        "--idle-timeout", type=float, default=2.0, metavar="S",
+        help="per-read deadline: a client that stalls mid-frame gets a "
+             "typed idle-timeout error (slow-loris defense)",
+    )
+    serve.add_argument(
+        "--drain-grace", type=float, default=None, metavar="S",
+        help="on SIGTERM/SIGINT, let in-flight sessions finish for up to "
+             "S seconds before shedding them (default: session deadline "
+             "+ 2s; a second signal sheds immediately)",
+    )
+    serve.add_argument(
+        "--max-ids", type=int, default=128, metavar="K",
+        help="cap on ids one session may register",
+    )
+    serve.add_argument(
+        "--session-wall", type=float, default=None, metavar="S",
+        help="per-session wall budget enforced in a disposable child "
+             "process (breach -> typed wall-budget error)",
+    )
+    serve.add_argument(
+        "--session-rss", type=float, default=None, metavar="MB",
+        help="per-session child RSS budget in MiB (Linux)",
+    )
+    _add_engine_flag(serve)
+
+    load = commands.add_parser(
+        "load",
+        help="drive concurrent sessions against a running daemon and "
+             "report throughput + p50/p99 latency (every completed "
+             "session is re-validated client-side)",
+    )
+    load.add_argument("--host", default="127.0.0.1", metavar="ADDR")
+    load.add_argument("--port", type=int, default=7341, metavar="PORT")
+    load.add_argument(
+        "--port-file", default=None, metavar="PATH",
+        help="read host:port from PATH (written by serve --port-file), "
+             "overriding --host/--port",
+    )
+    load.add_argument("--sessions", type=int, default=100, metavar="K")
+    load.add_argument(
+        "--concurrency", type=int, default=32, metavar="K",
+        help="sessions in flight at once",
+    )
+    load.add_argument(
+        "--ids", type=int, default=8, metavar="N",
+        help="original ids registered per session",
+    )
+    load.add_argument(
+        "--algorithm", default="auto",
+        help="algorithm requested per session (default: server auto-select)",
+    )
+    load.add_argument("--t", type=int, default=0, help="faulty slots per session")
+    load.add_argument(
+        "--attack", default="silent", choices=adversary_names(),
+        help="adversary strategy when --t > 0",
+    )
+    load.add_argument(
+        "--workload", default="uniform", choices=workload_names(),
+        help="id workload per session",
+    )
+    load.add_argument("--seed", type=int, default=0)
+    load.add_argument(
+        "--timeout", type=float, default=30.0, metavar="S",
+        help="client-side timeout per protocol step",
+    )
+    load.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="also write the report to PATH",
     )
 
     runs = commands.add_parser(
@@ -831,6 +934,7 @@ def cmd_worker(args: argparse.Namespace) -> int:
         budget=_budget_from(args),
         lease_s=args.lease,
         poll_s=args.poll,
+        poll_cap_s=args.poll_cap,
         wait_store_s=args.wait_for_store,
         max_idle_s=args.max_idle,
     )
@@ -848,6 +952,86 @@ def cmd_worker(args: argparse.Namespace) -> int:
         f"{stats.lease_lost} lease(s) lost"
     )
     return EXIT_OK
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .analysis import atomic_write_text
+    from .service.server import RenamingService
+
+    budget = None
+    if args.session_wall is not None or args.session_rss is not None:
+        budget = CellBudget(wall_s=args.session_wall, rss_mb=args.session_rss)
+    service = RenamingService(
+        args.host,
+        args.port,
+        max_sessions=args.max_sessions,
+        session_deadline_s=args.session_deadline,
+        idle_timeout_s=args.idle_timeout,
+        drain_grace_s=args.drain_grace,
+        max_ids=args.max_ids,
+        budget=budget,
+        engine=args.engine,
+    )
+
+    async def _serve() -> int:
+        await service.start()
+        host, port = service.bound_address
+        print(f"serve: listening on {host}:{port}", flush=True)
+        if args.port_file is not None:
+            atomic_write_text(args.port_file, f"{host}:{port}\n")
+        return await service.serve_forever()
+
+    code = asyncio.run(_serve())
+    stats = service.stats
+    print(
+        f"serve: {stats.admitted} admitted, {stats.completed} completed, "
+        f"{stats.violations} violation(s), {stats.rejected} rejected, "
+        f"{stats.busy} busy, {stats.disconnected} disconnected, "
+        f"{stats.shed} shed, {stats.infra} infra"
+    )
+    return code
+
+
+def _service_address(args: argparse.Namespace) -> Tuple[str, int]:
+    if args.port_file is not None:
+        text = Path(args.port_file).read_text().strip()
+        host, _, port = text.rpartition(":")
+        return host, int(port)
+    return args.host, args.port
+
+
+def cmd_load(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service.load import run_load
+
+    host, port = _service_address(args)
+    report = asyncio.run(
+        run_load(
+            host,
+            port,
+            sessions=args.sessions,
+            concurrency=args.concurrency,
+            ids_per_session=args.ids,
+            algorithm=args.algorithm,
+            t=args.t,
+            attack=args.attack,
+            seed=args.seed,
+            timeout_s=args.timeout,
+            workload=args.workload,
+        )
+    )
+    text = report.as_text()
+    print(text)
+    for failure in report.failures:
+        print(f"  {failure}", file=sys.stderr)
+    if args.report is not None:
+        from .analysis import atomic_write_text
+
+        atomic_write_text(args.report, text + "\n")
+    return report.exit_code()
 
 
 def cmd_runs_list(args: argparse.Namespace) -> int:
@@ -1133,6 +1317,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return cmd_chaos(args)
     if args.command == "worker":
         return cmd_worker(args)
+    if args.command == "serve":
+        return cmd_serve(args)
+    if args.command == "load":
+        return cmd_load(args)
     if args.command == "runs":
         return cmd_runs(args)
     raise AssertionError(f"unhandled command {args.command!r}")

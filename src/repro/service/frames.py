@@ -1,0 +1,161 @@
+"""Length-prefixed framing for the session protocol.
+
+One frame = a 4-byte big-endian payload length followed by exactly one
+:mod:`repro.wire` encoding. The layer is deliberately hostile-input-first:
+
+* a declared length above the cap is rejected **from the header alone** —
+  the body is never read, so an attacker cannot make the server buffer
+  megabytes by promising them;
+* a zero-length frame is rejected (no message encodes to zero bytes);
+* payload garbage is whatever :func:`repro.wire.decode_message` says it
+  is — always a typed :class:`~repro.wire.WireError`;
+* a connection that ends mid-frame is detectable
+  (:meth:`FrameDecoder.eof`).
+
+Every failure is a typed :class:`FrameError`/:class:`~repro.wire.WireError`
+— never a hang, never a bare ``struct.error``, never an allocation bomb.
+``tests/test_service_frames.py`` fuzzes exactly this contract.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from typing import List, Optional
+
+from ..sim.messages import Message
+from ..wire import WireError, decode_message, encode_message
+
+__all__ = [
+    "DEFAULT_MAX_FRAME_BYTES",
+    "HEADER_BYTES",
+    "FrameDecoder",
+    "FrameError",
+    "encode_frame",
+    "read_frame",
+    "write_frame",
+]
+
+#: Frame header: big-endian u32 payload length.
+HEADER_BYTES = 4
+
+#: Hard cap on one frame's payload. A session frame is a handful of ids or
+#: names (kilobytes at most); anything larger is an attack or a bug.
+DEFAULT_MAX_FRAME_BYTES = 64 * 1024
+
+
+class FrameError(WireError):
+    """A frame violated the layer's contract (oversized, empty, truncated).
+
+    Subclasses :class:`~repro.wire.WireError` so callers have one exception
+    type for "the byte stream is garbage", whichever layer noticed."""
+
+
+def encode_frame(
+    message: Message, *, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> bytes:
+    """Serialise ``message`` as one length-prefixed frame."""
+    payload = encode_message(message)
+    if len(payload) > max_frame_bytes:
+        raise FrameError(
+            f"frame payload of {len(payload)} bytes exceeds cap "
+            f"{max_frame_bytes}"
+        )
+    return struct.pack(">I", len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame parser for a byte stream fed in arbitrary chunks.
+
+    :meth:`feed` buffers input and returns every complete message; a
+    contract violation raises :class:`FrameError` (or the payload's own
+    :class:`~repro.wire.WireError`) and poisons the decoder — a transport
+    that sent garbage once is closed, not resynchronised.
+    """
+
+    def __init__(self, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> None:
+        self.max_frame_bytes = max_frame_bytes
+        self._buffer = bytearray()
+        self._poisoned = False
+
+    @property
+    def pending(self) -> int:
+        """Bytes buffered without forming a complete frame yet."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[Message]:
+        """Buffer ``data``; return every message completed by it."""
+        if self._poisoned:
+            raise FrameError("decoder already rejected this stream")
+        self._buffer.extend(data)
+        out: List[Message] = []
+        while len(self._buffer) >= HEADER_BYTES:
+            (length,) = struct.unpack_from(">I", self._buffer)
+            if length == 0:
+                self._poisoned = True
+                raise FrameError("zero-length frame")
+            if length > self.max_frame_bytes:
+                self._poisoned = True
+                raise FrameError(
+                    f"frame declares {length} bytes, cap is "
+                    f"{self.max_frame_bytes}"
+                )
+            if len(self._buffer) - HEADER_BYTES < length:
+                break
+            payload = bytes(self._buffer[HEADER_BYTES:HEADER_BYTES + length])
+            del self._buffer[:HEADER_BYTES + length]
+            try:
+                out.append(decode_message(payload))
+            except WireError:
+                self._poisoned = True
+                raise
+        return out
+
+    def eof(self) -> None:
+        """Assert the stream ended at a frame boundary."""
+        if self._buffer:
+            raise FrameError(
+                f"stream ended mid-frame with {len(self._buffer)} buffered "
+                f"byte(s)"
+            )
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+    *,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> Optional[Message]:
+    """Read one frame; ``None`` on EOF (clean or mid-frame — either way the
+    peer is gone and nothing can be sent back).
+
+    Raises :class:`FrameError` on an oversized/empty header — *before*
+    reading the body — and :class:`~repro.wire.WireError` on payload
+    garbage.
+    """
+    try:
+        header = await reader.readexactly(HEADER_BYTES)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    (length,) = struct.unpack(">I", header)
+    if length == 0:
+        raise FrameError("zero-length frame")
+    if length > max_frame_bytes:
+        raise FrameError(
+            f"frame declares {length} bytes, cap is {max_frame_bytes}"
+        )
+    try:
+        payload = await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    return decode_message(payload)
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter,
+    message: Message,
+    *,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> None:
+    """Write one frame and drain the transport."""
+    writer.write(encode_frame(message, max_frame_bytes=max_frame_bytes))
+    await writer.drain()

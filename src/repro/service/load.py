@@ -1,0 +1,301 @@
+"""Load generator and client library for the renaming daemon.
+
+:func:`run_session` speaks the full session protocol once and — crucially
+— **re-validates the assignment client-side**: the names that came back
+are pushed through the same :func:`repro.analysis.properties.check_renaming`
+the server used, so a server that ships a rosy certificate over a broken
+assignment is caught at the other end of the wire.
+
+:func:`run_load` drives many sessions concurrently (bounded by a
+semaphore) and aggregates a :class:`LoadReport` with throughput and
+p50/p99 latency — the numbers ``make service-smoke`` and
+``benchmarks/bench_service_load.py`` assert on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.properties import check_renaming
+from ..workloads import make_ids
+from .frames import read_frame, write_frame
+from .messages import (
+    CertificateMessage,
+    CloseSessionMessage,
+    NamesAssignedMessage,
+    OpenSessionMessage,
+    RegisterIdsMessage,
+    ServerBusyMessage,
+    SessionErrorMessage,
+    SessionWelcomeMessage,
+)
+
+__all__ = ["LoadReport", "SessionOutcome", "run_load", "run_session", "validate_names"]
+
+
+class _AssignmentView:
+    """Adapter: a bare (original → name) mapping as check_renaming input."""
+
+    def __init__(self, names: Dict[int, int]) -> None:
+        self._names = dict(names)
+
+    def outputs_by_id(self) -> Dict[int, int]:
+        return dict(self._names)
+
+
+def validate_names(
+    entries: Sequence[Tuple[int, int]],
+    namespace: int,
+    expected_count: int,
+    *,
+    order_preserving: bool = True,
+) -> List[str]:
+    """Client-side re-validation of a served assignment.
+
+    Returns the violation strings (empty = the assignment really does
+    satisfy the renaming properties the certificate claims).
+    """
+    report = check_renaming(
+        _AssignmentView(dict(entries)), namespace, expected_count=expected_count
+    )
+    ok = report.ok if order_preserving else report.ok_without_order()
+    if ok:
+        return []
+    if order_preserving:
+        return list(report.violations)
+    return [v for v in report.violations if not v.startswith("order:")]
+
+
+@dataclass
+class SessionOutcome:
+    """What one driven session produced."""
+
+    status: str  # completed|busy|rejected|invalid|violation|refused|timeout|disconnected
+    latency_s: float = 0.0
+    code: str = ""       # SessionError code when status == "rejected"
+    detail: str = ""
+    algorithm: str = ""
+    rounds: int = 0
+
+
+async def run_session(
+    host: str,
+    port: int,
+    *,
+    ids: Sequence[int],
+    algorithm: str = "auto",
+    t: int = 0,
+    attack: str = "silent",
+    seed: int = 0,
+    timeout_s: float = 30.0,
+    register_chunk: int = 0,
+) -> SessionOutcome:
+    """Drive one complete session; never raises for protocol-level outcomes.
+
+    ``register_chunk`` splits the ids over several RegisterIds frames
+    (0 = one frame), exercising the repeatable-registration path.
+    """
+    started = time.monotonic()
+    try:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout=timeout_s
+        )
+    except (ConnectionError, OSError):
+        return SessionOutcome(status="refused")
+    except asyncio.TimeoutError:
+        return SessionOutcome(status="timeout", detail="connect")
+    try:
+        try:
+            greeting = await asyncio.wait_for(read_frame(reader), timeout=timeout_s)
+        except asyncio.TimeoutError:
+            return SessionOutcome(status="timeout", detail="welcome")
+        if isinstance(greeting, ServerBusyMessage):
+            return SessionOutcome(
+                status="busy",
+                detail=f"{greeting.active}/{greeting.limit} sessions active",
+            )
+        if not isinstance(greeting, SessionWelcomeMessage):
+            return SessionOutcome(
+                status="disconnected", detail="no welcome frame"
+            )
+        await write_frame(
+            writer,
+            OpenSessionMessage(algorithm=algorithm, t=t, attack=attack, seed=seed),
+        )
+        id_list = [int(i) for i in ids]
+        chunk = register_chunk if register_chunk > 0 else len(id_list)
+        for start in range(0, len(id_list), max(1, chunk)):
+            await write_frame(
+                writer,
+                RegisterIdsMessage(ids=tuple(id_list[start:start + max(1, chunk)])),
+            )
+        await write_frame(writer, CloseSessionMessage())
+        try:
+            first = await asyncio.wait_for(read_frame(reader), timeout=timeout_s)
+        except asyncio.TimeoutError:
+            return SessionOutcome(status="timeout", detail="response")
+        if first is None:
+            return SessionOutcome(status="disconnected", detail="before response")
+        if isinstance(first, SessionErrorMessage):
+            return SessionOutcome(status="rejected", code=first.code, detail=first.detail)
+        if not isinstance(first, NamesAssignedMessage):
+            return SessionOutcome(
+                status="disconnected",
+                detail=f"unexpected {type(first).__name__} response",
+            )
+        try:
+            certificate = await asyncio.wait_for(read_frame(reader), timeout=timeout_s)
+        except asyncio.TimeoutError:
+            return SessionOutcome(status="timeout", detail="certificate")
+        if not isinstance(certificate, CertificateMessage):
+            return SessionOutcome(status="disconnected", detail="no certificate frame")
+        latency = time.monotonic() - started
+        if not certificate.ok:
+            return SessionOutcome(
+                status="violation",
+                latency_s=latency,
+                detail="; ".join(certificate.violations),
+                algorithm=first.algorithm,
+                rounds=first.rounds,
+            )
+        problems = validate_names(
+            first.entries,
+            certificate.namespace,
+            expected_count=len(id_list) - t,
+            order_preserving="order_preservation" in certificate.checked,
+        )
+        if problems:
+            return SessionOutcome(
+                status="invalid",
+                latency_s=latency,
+                detail="certificate says ok but client re-check found: "
+                + "; ".join(problems),
+                algorithm=first.algorithm,
+                rounds=first.rounds,
+            )
+        return SessionOutcome(
+            status="completed",
+            latency_s=latency,
+            algorithm=first.algorithm,
+            rounds=first.rounds,
+        )
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(fraction * (len(sorted_values) - 1) + 0.5))
+    return sorted_values[index]
+
+
+@dataclass
+class LoadReport:
+    """Aggregate outcome of a load run."""
+
+    sessions: int = 0
+    elapsed_s: float = 0.0
+    counts: Dict[str, int] = field(default_factory=dict)
+    latencies_s: List[float] = field(default_factory=list)
+    rejected_codes: Dict[str, int] = field(default_factory=dict)
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def completed(self) -> int:
+        return self.counts.get("completed", 0)
+
+    @property
+    def sessions_per_sec(self) -> float:
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.completed / self.elapsed_s
+
+    @property
+    def p50_s(self) -> float:
+        return _percentile(sorted(self.latencies_s), 0.50)
+
+    @property
+    def p99_s(self) -> float:
+        return _percentile(sorted(self.latencies_s), 0.99)
+
+    def exit_code(self) -> int:
+        """2 if any served assignment failed validation, 3 if nothing
+        completed at all, else 0 — mirroring the daemon's contract."""
+        if self.counts.get("invalid", 0) or self.counts.get("violation", 0):
+            return 2
+        if self.completed == 0:
+            return 3
+        return 0
+
+    def as_text(self) -> str:
+        lines = [
+            f"sessions          {self.sessions}",
+            f"elapsed           {self.elapsed_s:.2f}s",
+            f"throughput        {self.sessions_per_sec:.1f} sessions/s",
+            f"latency p50       {self.p50_s * 1000:.1f} ms",
+            f"latency p99       {self.p99_s * 1000:.1f} ms",
+        ]
+        for status in sorted(self.counts):
+            lines.append(f"{status:<17} {self.counts[status]}")
+        for code in sorted(self.rejected_codes):
+            lines.append(f"  rejected[{code}]  {self.rejected_codes[code]}")
+        return "\n".join(lines)
+
+
+async def run_load(
+    host: str,
+    port: int,
+    *,
+    sessions: int,
+    concurrency: int = 32,
+    ids_per_session: int = 8,
+    algorithm: str = "auto",
+    t: int = 0,
+    attack: str = "silent",
+    seed: int = 0,
+    timeout_s: float = 30.0,
+    workload: str = "uniform",
+    max_failures_kept: int = 20,
+) -> LoadReport:
+    """Drive ``sessions`` sessions, at most ``concurrency`` in flight."""
+    gate = asyncio.Semaphore(concurrency)
+    report = LoadReport(sessions=sessions)
+
+    async def one(index: int) -> SessionOutcome:
+        ids = make_ids(workload, ids_per_session, seed=seed + index)
+        async with gate:
+            return await run_session(
+                host,
+                port,
+                ids=ids,
+                algorithm=algorithm,
+                t=t,
+                attack=attack,
+                seed=seed + index,
+                timeout_s=timeout_s,
+            )
+
+    started = time.monotonic()
+    outcomes = await asyncio.gather(*(one(i) for i in range(sessions)))
+    report.elapsed_s = time.monotonic() - started
+    for outcome in outcomes:
+        report.counts[outcome.status] = report.counts.get(outcome.status, 0) + 1
+        if outcome.status == "completed":
+            report.latencies_s.append(outcome.latency_s)
+        elif outcome.status == "rejected":
+            report.rejected_codes[outcome.code] = (
+                report.rejected_codes.get(outcome.code, 0) + 1
+            )
+        if outcome.status in ("invalid", "violation") and len(
+            report.failures
+        ) < max_failures_kept:
+            report.failures.append(f"{outcome.status}: {outcome.detail}")
+    return report

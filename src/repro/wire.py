@@ -35,6 +35,16 @@ from .core.messages import (
     RanksMessage,
     ReadyMessage,
 )
+from .service.messages import (
+    CertificateMessage,
+    CloseSessionMessage,
+    NamesAssignedMessage,
+    OpenSessionMessage,
+    RegisterIdsMessage,
+    ServerBusyMessage,
+    SessionErrorMessage,
+    SessionWelcomeMessage,
+)
 from .sim.compose import EnvelopeMessage
 from .sim.messages import Message
 
@@ -110,6 +120,39 @@ def _read_rank(data: bytes, offset: int) -> Tuple[Fraction, int]:
     if denominator == 0:
         raise WireError("zero denominator")
     return Fraction(numerator, denominator), offset
+
+
+# -------------------------------------------------------------------- text
+
+#: Hard cap on one encoded string field. Service frames carry short
+#: algorithm names and error details; a varint length claiming megabytes
+#: is an allocation bomb, not a message.
+MAX_TEXT_BYTES = 4096
+
+
+def _write_text(value: str, out: bytearray) -> None:
+    data = value.encode("utf-8")
+    if len(data) > MAX_TEXT_BYTES:
+        raise WireError(
+            f"text field of {len(data)} bytes exceeds cap {MAX_TEXT_BYTES}"
+        )
+    write_varint(len(data), out)
+    out.extend(data)
+
+
+def _read_text(data: bytes, offset: int) -> Tuple[str, int]:
+    length, offset = read_varint(data, offset)
+    if length > MAX_TEXT_BYTES:
+        raise WireError(
+            f"text field of {length} bytes exceeds cap {MAX_TEXT_BYTES}"
+        )
+    if offset + length > len(data):
+        raise WireError("truncated text field")
+    try:
+        value = data[offset:offset + length].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise WireError(f"text field is not valid UTF-8: {exc}") from exc
+    return value, offset + length
 
 
 # ------------------------------------------------------------ per-type codecs
@@ -260,6 +303,163 @@ def _decode_envelope(data: bytes, offset: int):
     return EnvelopeMessage(tag=tag, payload=payload), offset
 
 
+# ------------------------------------------------- service-session frames
+#
+# Tags 22+ carry the renaming-session protocol of `repro-renaming serve`
+# (:mod:`repro.service`). They ride the same codec so the frame layer has
+# exactly one payload format — but they are control-plane traffic and never
+# appear in simulated protocol rounds.
+
+
+def _encode_open_session(message: OpenSessionMessage, out: bytearray) -> None:
+    _write_text(message.algorithm, out)
+    write_varint(message.t, out)
+    _write_text(message.attack, out)
+    write_varint(message.seed, out)
+
+
+def _decode_open_session(data: bytes, offset: int):
+    algorithm, offset = _read_text(data, offset)
+    t, offset = read_varint(data, offset)
+    attack, offset = _read_text(data, offset)
+    seed, offset = read_varint(data, offset)
+    return OpenSessionMessage(algorithm=algorithm, t=t, attack=attack, seed=seed), offset
+
+
+def _encode_register_ids(message: RegisterIdsMessage, out: bytearray) -> None:
+    write_varint(len(message.ids), out)
+    for identifier in message.ids:
+        write_varint(identifier, out)
+
+
+def _decode_register_ids(data: bytes, offset: int):
+    count, offset = read_varint(data, offset)
+    ids = []
+    for _ in range(count):
+        identifier, offset = read_varint(data, offset)
+        ids.append(identifier)
+    return RegisterIdsMessage(ids=tuple(ids)), offset
+
+
+def _encode_close_session(message: CloseSessionMessage, out: bytearray) -> None:
+    pass  # no fields — the tag byte is the whole message
+
+
+def _decode_close_session(data: bytes, offset: int):
+    return CloseSessionMessage(), offset
+
+
+def _encode_welcome(message: SessionWelcomeMessage, out: bytearray) -> None:
+    write_varint(message.session_id, out)
+    write_varint(message.max_ids, out)
+    write_varint(message.deadline_ms, out)
+
+
+def _decode_welcome(data: bytes, offset: int):
+    session_id, offset = read_varint(data, offset)
+    max_ids, offset = read_varint(data, offset)
+    deadline_ms, offset = read_varint(data, offset)
+    return (
+        SessionWelcomeMessage(
+            session_id=session_id, max_ids=max_ids, deadline_ms=deadline_ms
+        ),
+        offset,
+    )
+
+
+def _encode_busy(message: ServerBusyMessage, out: bytearray) -> None:
+    write_varint(message.active, out)
+    write_varint(message.limit, out)
+
+
+def _decode_busy(data: bytes, offset: int):
+    active, offset = read_varint(data, offset)
+    limit, offset = read_varint(data, offset)
+    return ServerBusyMessage(active=active, limit=limit), offset
+
+
+def _encode_names(message: NamesAssignedMessage, out: bytearray) -> None:
+    write_varint(len(message.entries), out)
+    for original, name in message.entries:
+        write_varint(original, out)
+        write_varint(name, out)
+    _write_text(message.algorithm, out)
+    write_varint(message.rounds, out)
+
+
+def _decode_names(data: bytes, offset: int):
+    count, offset = read_varint(data, offset)
+    entries = []
+    for _ in range(count):
+        original, offset = read_varint(data, offset)
+        name, offset = read_varint(data, offset)
+        entries.append((original, name))
+    algorithm, offset = _read_text(data, offset)
+    rounds, offset = read_varint(data, offset)
+    return (
+        NamesAssignedMessage(
+            entries=tuple(entries), algorithm=algorithm, rounds=rounds
+        ),
+        offset,
+    )
+
+
+def _encode_text_tuple(values: Tuple[str, ...], out: bytearray) -> None:
+    write_varint(len(values), out)
+    for value in values:
+        _write_text(value, out)
+
+
+def _decode_text_tuple(data: bytes, offset: int) -> Tuple[Tuple[str, ...], int]:
+    count, offset = read_varint(data, offset)
+    values = []
+    for _ in range(count):
+        value, offset = _read_text(data, offset)
+        values.append(value)
+    return tuple(values), offset
+
+
+def _encode_certificate(message: CertificateMessage, out: bytearray) -> None:
+    write_varint(message.namespace, out)
+    out.append(1 if message.ok else 0)
+    _encode_text_tuple(message.checked, out)
+    _encode_text_tuple(message.violations, out)
+
+
+def _decode_certificate(data: bytes, offset: int):
+    namespace, offset = read_varint(data, offset)
+    if offset >= len(data):
+        raise WireError("truncated certificate verdict")
+    ok = bool(data[offset])
+    offset += 1
+    checked, offset = _decode_text_tuple(data, offset)
+    violations, offset = _decode_text_tuple(data, offset)
+    return (
+        CertificateMessage(
+            namespace=namespace, ok=ok, checked=checked, violations=violations
+        ),
+        offset,
+    )
+
+
+def _encode_session_error(message: SessionErrorMessage, out: bytearray) -> None:
+    _write_text(message.code, out)
+    _write_text(message.detail, out)
+    _write_signed(message.trace_pointer, out)
+
+
+def _decode_session_error(data: bytes, offset: int):
+    code, offset = _read_text(data, offset)
+    detail, offset = _read_text(data, offset)
+    trace_pointer, offset = _read_signed(data, offset)
+    return (
+        SessionErrorMessage(
+            code=code, detail=detail, trace_pointer=trace_pointer
+        ),
+        offset,
+    )
+
+
 def _single_id_decoder(cls: Type[Message]) -> Decoder:
     def decode(data: bytes, offset: int):
         identifier, offset = read_varint(data, offset)
@@ -295,6 +495,14 @@ _register(ValueMessage, 18, _encode_value, _decode_value)
 _register(ClaimMessage, 19, _encode_claim, _decode_claim)
 _register(RelayMessage, 20, _encode_relay, _decode_relay)
 _register(EnvelopeMessage, 21, _encode_envelope, _decode_envelope)
+_register(OpenSessionMessage, 22, _encode_open_session, _decode_open_session)
+_register(RegisterIdsMessage, 23, _encode_register_ids, _decode_register_ids)
+_register(CloseSessionMessage, 24, _encode_close_session, _decode_close_session)
+_register(SessionWelcomeMessage, 25, _encode_welcome, _decode_welcome)
+_register(ServerBusyMessage, 26, _encode_busy, _decode_busy)
+_register(NamesAssignedMessage, 27, _encode_names, _decode_names)
+_register(CertificateMessage, 28, _encode_certificate, _decode_certificate)
+_register(SessionErrorMessage, 29, _encode_session_error, _decode_session_error)
 
 _BY_TAG: Dict[int, Tuple[Type[Message], Decoder]] = {
     tag: (cls, decoder) for cls, (tag, _, decoder) in _CODECS.items()

@@ -26,6 +26,8 @@ import pytest
 
 from repro.analysis import (
     ChaosCampaign,
+    PollBackoff,
+    Worker,
     Coordinator,
     ResultCache,
     RunJournal,
@@ -264,3 +266,73 @@ class TestSubprocessWorkers:
         )
         assert fanned.returncode == 0, fanned.stderr
         assert fabric_csv.read_bytes() == control_csv.read_bytes()
+
+
+class TestPollBackoff:
+    """Satellite: the worker's idle poll backs off with full jitter."""
+
+    def test_bounds_grow_exponentially_to_the_cap(self):
+        drawn = []
+
+        def rng(low, high):
+            drawn.append((low, high))
+            return high
+
+        backoff = PollBackoff(0.2, 5.0, rng=rng)
+        delays = [backoff.next_delay() for _ in range(6)]
+        # Upper bound doubles from the floor until the cap clamps it.
+        assert drawn == [
+            (0.2, 0.2), (0.2, 0.4), (0.2, 0.8),
+            (0.2, 1.6), (0.2, 3.2), (0.2, 5.0),
+        ]
+        assert delays == [high for _, high in drawn]
+
+    def test_reset_returns_to_the_floor(self):
+        backoff = PollBackoff(0.2, 5.0, rng=lambda low, high: high)
+        for _ in range(4):
+            backoff.next_delay()
+        backoff.reset()
+        assert backoff.next_delay() == pytest.approx(0.2)
+
+    def test_delay_never_leaves_the_floor_cap_band(self):
+        import random
+
+        rng = random.Random(7)
+        backoff = PollBackoff(0.1, 2.0, rng=rng.uniform)
+        for _ in range(50):
+            delay = backoff.next_delay()
+            assert 0.1 <= delay <= 2.0
+
+    def test_floor_and_cap_are_validated(self):
+        with pytest.raises(ValueError):
+            PollBackoff(0.0)
+        with pytest.raises(ValueError):
+            PollBackoff(1.0, 0.5)
+
+    def test_worker_claim_resets_the_backoff(self, tmp_path):
+        """A worker that has been starved drops back to the floor the
+        moment a cell becomes claimable."""
+        url = f"sqlite:{tmp_path / 'backoff.sqlite'}"
+        coordinator = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "sweep", *CLI_GRID,
+                "--store", url, "--coordinator-only",
+            ],
+            env={**os.environ, "PYTHONPATH": SRC},
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            worker = Worker(
+                url, poll_s=0.01, poll_cap_s=0.05, wait_store_s=60
+            )
+            for _ in range(3):
+                worker.backoff.next_delay()  # pretend we starved a while
+            stats = worker.run()
+            assert stats.completed > 0
+            assert worker.backoff._attempts == 0  # reset on the last claim
+            out, err = coordinator.communicate(timeout=120)
+            assert coordinator.returncode == 0, err
+        finally:
+            if coordinator.poll() is None:
+                coordinator.kill()
+                coordinator.communicate()

@@ -1,0 +1,250 @@
+"""Graceful-drain coverage against real processes and real signals.
+
+Subprocess-based, like the fabric kill/reclaim harness: the daemon
+(``repro-renaming serve``) is started as a child process, hit with
+SIGTERM/SIGINT mid-session, and must honor the drain contract — in-flight
+sessions complete, late connects get a typed ServerBusy, the exit code
+says what happened (0 clean, 4 sessions shed). The worker half drains the
+``worker`` subcommand mid-sweep and asserts the lease story: every cell
+finished exactly once, no re-execution, doctor-clean store.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.analysis.store import open_store
+from repro.service.frames import read_frame, write_frame
+from repro.service.messages import (
+    CertificateMessage,
+    CloseSessionMessage,
+    NamesAssignedMessage,
+    OpenSessionMessage,
+    RegisterIdsMessage,
+    ServerBusyMessage,
+    SessionErrorMessage,
+    SessionWelcomeMessage,
+)
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+
+def _cli(args, *, env=None, timeout=180):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        env={**os.environ, "PYTHONPATH": SRC, **(env or {})},
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def _spawn(args, *, env=None):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *args],
+        env={**os.environ, "PYTHONPATH": SRC, **(env or {})},
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def _wait_for_port_file(path, process, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            out, err = process.communicate()
+            raise AssertionError(f"daemon died before binding: {out}\n{err}")
+        if os.path.exists(path):
+            text = open(path).read().strip()
+            if text:
+                host, _, port = text.rpartition(":")
+                return host, int(port)
+        time.sleep(0.05)
+    raise AssertionError("daemon never wrote its port file")
+
+
+def _finish(process, timeout=30):
+    try:
+        out, err = process.communicate(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        out, err = process.communicate()
+        raise AssertionError(f"daemon did not exit after drain: {out}\n{err}")
+    return process.returncode, out, err
+
+
+async def _expect(reader, message_type, timeout=15.0):
+    message = await asyncio.wait_for(read_frame(reader), timeout)
+    assert isinstance(message, message_type), f"got {message!r}"
+    return message
+
+
+class TestServeDrain:
+    def test_sigterm_finishes_in_flight_and_exits_clean(self, tmp_path):
+        port_file = tmp_path / "svc.port"
+        daemon = _spawn(
+            [
+                "serve", "--port", "0", "--port-file", str(port_file),
+                "--session-deadline", "15", "--idle-timeout", "15",
+                "--drain-grace", "20",
+            ]
+        )
+        try:
+            host, port = _wait_for_port_file(str(port_file), daemon)
+
+            async def scenario():
+                reader, writer = await asyncio.open_connection(host, port)
+                await _expect(reader, SessionWelcomeMessage)
+                await write_frame(writer, OpenSessionMessage())
+                await write_frame(writer, RegisterIdsMessage(ids=(4, 9, 17, 23)))
+
+                daemon.send_signal(signal.SIGTERM)
+
+                # Once the drain flag is visible, new connects are turned
+                # away with an explicit ServerBusy — poll until it is.
+                for _ in range(100):
+                    late_r, late_w = await asyncio.open_connection(host, port)
+                    first = await asyncio.wait_for(read_frame(late_r), 15.0)
+                    late_w.close()
+                    await late_w.wait_closed()
+                    if isinstance(first, ServerBusyMessage):
+                        break
+                    await asyncio.sleep(0.05)
+                else:
+                    raise AssertionError("drain never refused a late connect")
+
+                # The in-flight session still completes, certificate and all.
+                await write_frame(writer, CloseSessionMessage())
+                names = await _expect(reader, NamesAssignedMessage)
+                certificate = await _expect(reader, CertificateMessage)
+                assert len(names.entries) == 4
+                assert certificate.ok, certificate.violations
+                writer.close()
+                await writer.wait_closed()
+
+            asyncio.run(scenario())
+            code, out, err = _finish(daemon)
+            assert code == 0, f"{out}\n{err}"
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.communicate()
+
+    def test_sigint_sheds_stragglers_and_exits_4(self, tmp_path):
+        port_file = tmp_path / "svc.port"
+        daemon = _spawn(
+            [
+                "serve", "--port", "0", "--port-file", str(port_file),
+                "--session-deadline", "60", "--idle-timeout", "60",
+                "--drain-grace", "0.3",
+            ]
+        )
+        try:
+            host, port = _wait_for_port_file(str(port_file), daemon)
+
+            async def scenario():
+                reader, writer = await asyncio.open_connection(host, port)
+                await _expect(reader, SessionWelcomeMessage)
+                await write_frame(writer, OpenSessionMessage())
+                daemon.send_signal(signal.SIGINT)
+                # The straggler is shed with a typed shutdown error, not a
+                # bare connection reset.
+                error = await _expect(reader, SessionErrorMessage)
+                assert error.code == "shutdown"
+                writer.close()
+                await writer.wait_closed()
+
+            asyncio.run(scenario())
+            code, out, err = _finish(daemon)
+            assert code == 4, f"{out}\n{err}"
+            assert "1 shed" in out
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.communicate()
+
+
+class TestWorkerDrain:
+    """SIGTERM against the fabric worker: finish the cell, keep the store
+    doctor-clean — the lease is either finished or expiry-reclaimed, and
+    every cell executes exactly once."""
+
+    def test_sigterm_mid_sweep_releases_cleanly(self, tmp_path):
+        url = f"sqlite:{tmp_path / 'store.sqlite'}"
+        grid = [
+            "--algorithms", "alg1",
+            "--sizes", "7:2",
+            "--attacks", "silent", "conforming",
+            "--seeds", "0", "1", "2", "3",
+        ]
+        coordinator = _spawn(
+            [
+                "sweep", *grid, "--workers", "1", "--store", url,
+                "--coordinator-only", "--csv", str(tmp_path / "out.csv"),
+            ]
+        )
+        try:
+            drained = _spawn(
+                [
+                    "worker", "--store", url, "--worker-id", "drained",
+                    "--lease", "2", "--wait-for-store", "60",
+                ]
+            )
+            # Let it claim at least one cell before asking it to stop — a
+            # wall-clock sleep races worker startup (imports + signal
+            # handler installation) on a loaded host, so wait for the
+            # store's own event log to show a claim by this worker.
+            deadline = time.monotonic() + 60.0
+            store = open_store(url)
+            while time.monotonic() < deadline:
+                if drained.poll() is not None:
+                    out, err = drained.communicate()
+                    raise AssertionError(f"worker died early: {out}\n{err}")
+                if any(
+                    e["event"] == "claimed" and e.get("worker") == "drained"
+                    for e in store.events()
+                ):
+                    break
+                time.sleep(0.05)
+            else:
+                raise AssertionError("worker never claimed a cell")
+            drained.send_signal(signal.SIGTERM)
+            out, err = drained.communicate(timeout=60)
+            assert drained.returncode == 0, err
+            assert "worker drained" in out
+
+            # A second worker runs the store dry.
+            medic = _cli(
+                [
+                    "worker", "--store", url, "--worker-id", "medic",
+                    "--lease", "2", "--wait-for-store", "60",
+                ]
+            )
+            assert medic.returncode == 0, medic.stderr
+
+            out, err = coordinator.communicate(timeout=120)
+            assert coordinator.returncode == 0, err
+        finally:
+            for process in (coordinator,):
+                if process.poll() is None:
+                    process.kill()
+                    process.communicate()
+
+        # Exactly-once execution, whichever worker ran each cell.
+        store = open_store(url)
+        finished = [
+            e["cell"] for e in store.events() if e["event"] == "finished"
+        ]
+        assert sorted(finished) == sorted(set(finished))
+        doctor = _cli(
+            ["runs", "doctor", "--store", url, "--assert-no-reexecution"]
+        )
+        assert doctor.returncode == 0, doctor.stdout + doctor.stderr

@@ -42,6 +42,16 @@ from repro.core.messages import (
     RanksMessage,
     ReadyMessage,
 )
+from repro.service.messages import (
+    CertificateMessage,
+    CloseSessionMessage,
+    NamesAssignedMessage,
+    OpenSessionMessage,
+    RegisterIdsMessage,
+    ServerBusyMessage,
+    SessionErrorMessage,
+    SessionWelcomeMessage,
+)
 from repro.sim.compose import EnvelopeMessage
 from repro.wire import WireError, decode_message, encode_message, wire_types
 
@@ -63,6 +73,9 @@ _rank = st.one_of(
         max_value=2.0**50,
     ).filter(lambda v: v == 0 or abs(v) >= 2.0**-50),
 )
+
+
+_text = st.text(max_size=64)
 
 
 def _ranks_entries():
@@ -94,6 +107,35 @@ STRATEGIES = {
     ValueMessage: st.builds(ValueMessage, _rank),
     ClaimMessage: st.builds(ClaimMessage, _uint, _uint, _uint),
     RelayMessage: st.builds(RelayMessage, _relay_entries()),
+    # Service-session frames (tags 22+). Text fields are capped at
+    # MAX_TEXT_BYTES by the codec; these strategies stay well inside.
+    OpenSessionMessage: st.builds(
+        OpenSessionMessage, _text, _uint, _text, _uint
+    ),
+    RegisterIdsMessage: st.builds(
+        RegisterIdsMessage, st.lists(_uint, max_size=16).map(tuple)
+    ),
+    CloseSessionMessage: st.builds(CloseSessionMessage),
+    SessionWelcomeMessage: st.builds(
+        SessionWelcomeMessage, _uint, _uint, _uint
+    ),
+    ServerBusyMessage: st.builds(ServerBusyMessage, _uint, _uint),
+    NamesAssignedMessage: st.builds(
+        NamesAssignedMessage,
+        st.lists(st.tuples(_uint, _uint), max_size=12).map(tuple),
+        _text,
+        _uint,
+    ),
+    CertificateMessage: st.builds(
+        CertificateMessage,
+        _uint,
+        st.booleans(),
+        st.lists(_text, max_size=4).map(tuple),
+        st.lists(_text, max_size=4).map(tuple),
+    ),
+    SessionErrorMessage: st.builds(
+        SessionErrorMessage, _text, _text, _sint
+    ),
 }
 
 _flat_payload = st.one_of(*STRATEGIES.values())
