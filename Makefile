@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-vector smoke chaos-smoke resume-smoke fabric-smoke model-smoke bench-store service-smoke bench-service
+.PHONY: test bench bench-vector smoke chaos-smoke resume-smoke fabric-smoke model-smoke bench-store service-smoke recovery-smoke bench-service
 
 ## Tier-1: the full unit/integration suite (what CI gates on).
 test:
@@ -151,8 +151,71 @@ service-smoke:
 		{ [ $$SERVE -eq 0 ] || [ $$SERVE -eq 4 ]; }
 	rm -rf $(SERVICE_SMOKE_DIR)
 
+## Crash-recovery end-to-end: a journaled daemon takes a tokened burst
+## *through the chaos proxy* (connection resets + mid-frame truncation)
+## and is SIGKILLed mid-load by the deterministic crash hook; a fresh
+## daemon restarts on the same journal and the identical burst is
+## re-driven — every token must complete (pre-crash sessions answered
+## byte-identically from the journal, interrupted ones re-admitted
+## exactly once), a query must answer from the journal, and the offline
+## `sessions list` reader must accept the journal. Every injected fault
+## must surface as a typed client error — the burst may fail sessions
+## (exit 3 if the kill landed early) but must never report an invalid
+## certificate (exit 2) and must never hang.
+RECOVERY_SMOKE_DIR := .recovery-smoke
+recovery-smoke:
+	rm -rf $(RECOVERY_SMOKE_DIR)
+	mkdir -p $(RECOVERY_SMOKE_DIR)
+	REPRO_SERVICE_CRASH_AFTER=completed:30 \
+	$(PYTHON) -m repro.cli serve --port 0 \
+		--port-file $(RECOVERY_SMOKE_DIR)/svc.port \
+		--session-journal $(RECOVERY_SMOKE_DIR)/sessions.jsonl \
+		--max-sessions 200 --session-deadline 30 --idle-timeout 30 \
+		--drain-grace 60 & SRV=$$!; \
+	for i in $$(seq 200); do \
+		[ -s $(RECOVERY_SMOKE_DIR)/svc.port ] && break; sleep 0.1; done; \
+	$(PYTHON) -m repro.cli proxy \
+		--upstream-file $(RECOVERY_SMOKE_DIR)/svc.port \
+		--port-file $(RECOVERY_SMOKE_DIR)/proxy.port \
+		--reset 0.1 --truncate 0.1 --seed 7 & PRX=$$!; \
+	for i in $$(seq 200); do \
+		[ -s $(RECOVERY_SMOKE_DIR)/proxy.port ] && break; sleep 0.1; done; \
+	$(PYTHON) -m repro.cli load \
+		--port-file $(RECOVERY_SMOKE_DIR)/proxy.port \
+		--sessions 60 --concurrency 20 --ids 8 --seed 0 \
+		--session-prefix rsmoke --retries 2 --timeout 10 \
+		--report $(RECOVERY_SMOKE_DIR)/burst.txt; BURST=$$?; \
+	wait $$SRV; CRASH=$$?; \
+	rm -f $(RECOVERY_SMOKE_DIR)/svc.port; \
+	$(PYTHON) -m repro.cli serve --port 0 \
+		--port-file $(RECOVERY_SMOKE_DIR)/svc.port \
+		--session-journal $(RECOVERY_SMOKE_DIR)/sessions.jsonl \
+		--max-sessions 200 --session-deadline 30 --idle-timeout 30 \
+		--drain-grace 60 & SRV=$$!; \
+	for i in $$(seq 200); do \
+		[ -s $(RECOVERY_SMOKE_DIR)/svc.port ] && break; sleep 0.1; done; \
+	$(PYTHON) -m repro.cli load \
+		--port-file $(RECOVERY_SMOKE_DIR)/svc.port \
+		--sessions 60 --concurrency 20 --ids 8 --seed 0 \
+		--session-prefix rsmoke --retries 5 --timeout 30 \
+		--report $(RECOVERY_SMOKE_DIR)/redrive.txt; REDRIVE=$$?; \
+	grep -Eq "completed +60" $(RECOVERY_SMOKE_DIR)/redrive.txt; FULL=$$?; \
+	$(PYTHON) -m repro.cli query rsmoke-0 \
+		--port-file $(RECOVERY_SMOKE_DIR)/svc.port > /dev/null; QUERY=$$?; \
+	kill -TERM $$PRX; wait $$PRX; \
+	kill -TERM $$SRV; wait $$SRV; SERVE=$$?; \
+	$(PYTHON) -m repro.cli sessions list \
+		--journal $(RECOVERY_SMOKE_DIR)/sessions.jsonl > /dev/null; LIST=$$?; \
+	echo "recovery-smoke: burst=$$BURST crash=$$CRASH redrive=$$REDRIVE \
+		all-completed=$$FULL query=$$QUERY serve=$$SERVE list=$$LIST"; \
+	[ $$CRASH -eq 137 ] && [ $$BURST -ne 2 ] && [ $$REDRIVE -eq 0 ] && \
+		[ $$FULL -eq 0 ] && [ $$QUERY -eq 0 ] && [ $$SERVE -eq 0 ] && \
+		[ $$LIST -eq 0 ]
+	rm -rf $(RECOVERY_SMOKE_DIR)
+
 ## Service throughput capture: sessions/sec and p50/p99 session latency
-## for burst, sustained, and adversarial scenarios over loopback TCP.
+## for burst, sustained, and adversarial scenarios over loopback TCP,
+## plus the journal-on vs journal-off durability-cost comparison.
 ## Rewrites benchmarks/results/service_load.txt.
 bench-service:
 	$(PYTHON) benchmarks/bench_service_load.py \

@@ -11,6 +11,11 @@ generator (:func:`repro.service.load.run_load`) run in one process over a
 loopback socket — real frames, real TCP, real per-session algorithm runs
 with the certificate validated server-side *and* re-checked client-side.
 Reported per configuration: sessions/s plus p50/p99 session latency.
+
+The ``journal-on`` scenario reruns the sustained shape with every session
+carrying an idempotency token through ``--session-journal`` durability
+(an fsync'd ``accepted`` + ``completed`` record per session) — the
+journal-off line directly above it is the price-of-durability baseline.
 """
 
 from __future__ import annotations
@@ -18,30 +23,42 @@ from __future__ import annotations
 import argparse
 import asyncio
 import sys
+import tempfile
 from pathlib import Path
 
 sys.path.insert(
     0, str(Path(__file__).resolve().parent.parent / "src")
 )
 
+from repro.service.journal import SessionJournal  # noqa: E402
 from repro.service.load import run_load  # noqa: E402
 from repro.service.server import RenamingService  # noqa: E402
 
-#: (label, sessions, concurrency, ids per session, t, attack)
+#: (label, sessions, concurrency, ids per session, t, attack, journaled)
 SCENARIOS = [
-    ("burst-small", 400, 100, 8, 0, "silent"),
-    ("burst-wide", 400, 100, 16, 0, "silent"),
-    ("sustained", 1000, 64, 8, 0, "silent"),
-    ("adversarial", 200, 50, 11, 2, "conforming"),
+    ("burst-small", 400, 100, 8, 0, "silent", False),
+    ("burst-wide", 400, 100, 16, 0, "silent", False),
+    ("sustained", 1000, 64, 8, 0, "silent", False),
+    ("adversarial", 200, 50, 11, 2, "conforming", False),
+    ("journal-off", 600, 64, 8, 0, "silent", False),
+    ("journal-on", 600, 64, 8, 0, "silent", True),
 ]
 
 
-async def run_scenario(label, sessions, concurrency, ids, t, attack):
+async def run_scenario(label, sessions, concurrency, ids, t, attack, journaled):
+    journal = None
+    journal_dir = None
+    if journaled:
+        journal_dir = tempfile.TemporaryDirectory(prefix="bench-journal-")
+        journal = SessionJournal.open_or_create(
+            Path(journal_dir.name) / "sessions.jsonl"
+        )
     service = RenamingService(
         max_sessions=max(concurrency, 64),
         session_deadline_s=30.0,
         idle_timeout_s=30.0,
         install_signal_handlers=False,
+        journal=journal,
     )
     await service.start()
     host, port = service.bound_address
@@ -55,10 +72,13 @@ async def run_scenario(label, sessions, concurrency, ids, t, attack):
             ids_per_session=ids,
             t=t,
             attack=attack,
+            session_prefix=label if journaled else "",
         )
     finally:
         service.initiate_drain()
         exit_code = await runner
+        if journal_dir is not None:
+            journal_dir.cleanup()
     if report.exit_code() != 0 or exit_code != 0:
         raise SystemExit(
             f"{label}: load exit {report.exit_code()}, serve exit "

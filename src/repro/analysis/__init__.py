@@ -57,7 +57,8 @@ from .supervisor import (
     WorkerSupervisor,
     budget_breach,
 )
-from .worker import PollBackoff, Worker, WorkerStats
+from .backoff import PollBackoff
+from .worker import Worker, WorkerStats
 from .properties import PropertyReport, check_renaming
 from .serialization import RunArchive, dump_run, load_run, run_to_dict
 from .stats import Summary, fraction_true, median_of, ratios, summarise

@@ -1,0 +1,68 @@
+"""Jittered exponential backoff, shared by every retry loop in the tree.
+
+One policy, two very different consumers:
+
+* the fabric worker's idle poll (:mod:`repro.analysis.worker`) — a starved
+  worker probing the store for claimable cells;
+* the service clients (:mod:`repro.service.load`, ``repro-renaming
+  query``) — retrying a connect or an idempotent re-submission against a
+  daemon that is busy, restarting, or behind a flaky network.
+
+Both want the same shape: full jitter (AWS-style) so a fleet of retriers
+never hammers the shared resource in lockstep, an exponential ceiling so
+persistent starvation backs off, a floor so the first retry is never more
+eager than configured, and a cap so a recovered resource is noticed within
+one cap window. :meth:`PollBackoff.reset` drops back to the floor on any
+success (a claimed cell, an admitted session).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+__all__ = ["PollBackoff"]
+
+
+class PollBackoff:
+    """Jittered exponential backoff between retries of a shared resource.
+
+    A fixed sleep makes every starved retrier in a fleet hammer the
+    resource in lockstep; full jitter (AWS-style) spreads the probes and
+    backs off exponentially while nothing succeeds. ``floor_s`` (the
+    worker's old ``--poll``) stays the minimum — the first sleep is never
+    shorter than before — and ``cap_s`` bounds how lazy a starved retrier
+    may get, so a recovered resource is picked up within one cap window.
+
+    :meth:`reset` (called on every success) drops back to the floor;
+    ``rng`` is injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        floor_s: float,
+        cap_s: float = 5.0,
+        *,
+        rng: Optional[Callable[[float, float], float]] = None,
+    ) -> None:
+        if floor_s <= 0:
+            raise ValueError(f"floor_s must be positive, got {floor_s}")
+        if cap_s < floor_s:
+            raise ValueError(
+                f"cap_s ({cap_s}) must be at least floor_s ({floor_s})"
+            )
+        self.floor_s = floor_s
+        self.cap_s = cap_s
+        self._attempts = 0
+        if rng is None:
+            import random
+
+            rng = random.uniform
+        self._rng = rng
+
+    def reset(self) -> None:
+        self._attempts = 0
+
+    def next_delay(self) -> float:
+        ceiling = min(self.cap_s, self.floor_s * (2 ** self._attempts))
+        self._attempts += 1
+        return self._rng(self.floor_s, ceiling)

@@ -49,6 +49,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..sim.errors import LeaseLost, StoreError
+from .backoff import PollBackoff
 from .campaign import ChaosOutcome, ChaosTask, execute_chaos_task
 from .executor import ExperimentSummary, RunTask, execute_task, logger
 from .store import Claim, DEFAULT_LEASE_S, ResultStore, open_store
@@ -56,6 +57,7 @@ from .supervisor import CellBudget, budget_breach
 
 __all__ = [
     "CellRunner",
+    "PollBackoff",  # re-export: the class moved to repro.analysis.backoff
     "RUNNERS",
     "Worker",
     "WorkerStats",
@@ -168,51 +170,6 @@ class WorkerStats:
     kind: Optional[str] = None
     worker_id: str = ""
     extras: Dict[str, int] = field(default_factory=dict)
-
-
-class PollBackoff:
-    """Jittered exponential backoff for the worker's idle poll.
-
-    A fixed idle sleep makes every starved worker in a fleet hammer the
-    store in lockstep; full jitter (AWS-style) spreads the probes and backs
-    off exponentially while nothing is claimable. ``floor_s`` (the old
-    ``--poll``) stays the minimum — the first idle sleep is never shorter
-    than before — and ``cap_s`` bounds how lazy a starved worker may get,
-    so a reclaimed lease is picked up within one cap window.
-
-    :meth:`reset` (called on every successful claim) drops back to the
-    floor; ``rng`` is injectable for deterministic tests.
-    """
-
-    def __init__(
-        self,
-        floor_s: float,
-        cap_s: float = 5.0,
-        *,
-        rng: Optional[Callable[[float, float], float]] = None,
-    ) -> None:
-        if floor_s <= 0:
-            raise ValueError(f"floor_s must be positive, got {floor_s}")
-        if cap_s < floor_s:
-            raise ValueError(
-                f"cap_s ({cap_s}) must be at least floor_s ({floor_s})"
-            )
-        self.floor_s = floor_s
-        self.cap_s = cap_s
-        self._attempts = 0
-        if rng is None:
-            import random
-
-            rng = random.uniform
-        self._rng = rng
-
-    def reset(self) -> None:
-        self._attempts = 0
-
-    def next_delay(self) -> float:
-        ceiling = min(self.cap_s, self.floor_s * (2 ** self._attempts))
-        self._attempts += 1
-        return self._rng(self.floor_s, ceiling)
 
 
 def _cell_main(kind: str, payload: dict, result_q) -> None:

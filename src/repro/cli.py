@@ -406,6 +406,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--session-rss", type=float, default=None, metavar="MB",
         help="per-session child RSS budget in MiB (Linux)",
     )
+    serve.add_argument(
+        "--session-journal", default=None, metavar="PATH",
+        help="durable session journal: tokened sessions are journaled "
+             "(accepted -> completed/failed, fsync'd before the response) "
+             "so a restarted daemon answers repeat submissions and "
+             "queries from the journal — byte-identical, never re-run",
+    )
     _add_engine_flag(serve)
 
     load = commands.add_parser(
@@ -452,6 +459,114 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", default=None, metavar="PATH",
         help="also write the report to PATH",
     )
+    load.add_argument(
+        "--session-prefix", default="", metavar="PREFIX",
+        help="stamp each session with idempotency token PREFIX-<index> "
+             "(daemon must run with --session-journal); makes retries "
+             "and crash recovery exactly-once",
+    )
+    load.add_argument(
+        "--retries", type=int, default=0, metavar="K",
+        help="transport-level retries per session through the shared "
+             "jittered backoff (mid-session retries need --session-prefix)",
+    )
+    load.add_argument(
+        "--busy-retries", type=int, default=8, metavar="K",
+        help="ServerBusy responses absorbed per session by backoff before "
+             "'busy' becomes the outcome (reported separately from errors)",
+    )
+
+    query = commands.add_parser(
+        "query",
+        help="ask a --session-journal daemon what happened to an "
+             "idempotency token: completed (certificate replayed "
+             "byte-identically), failed, in-flight, or unknown",
+    )
+    query.add_argument("session_id", metavar="TOKEN")
+    query.add_argument("--host", default="127.0.0.1", metavar="ADDR")
+    query.add_argument("--port", type=int, default=7341, metavar="PORT")
+    query.add_argument(
+        "--port-file", default=None, metavar="PATH",
+        help="read host:port from PATH (written by serve --port-file), "
+             "overriding --host/--port",
+    )
+    query.add_argument(
+        "--timeout", type=float, default=30.0, metavar="S",
+        help="client-side timeout per protocol step",
+    )
+    query.add_argument(
+        "--retries", type=int, default=0, metavar="K",
+        help="retries for transport-level failures (queries are read-only, "
+             "always safe to retry)",
+    )
+
+    sessions = commands.add_parser(
+        "sessions",
+        help="read a session journal offline (doctor-style): list "
+             "finished/failed/interrupted sessions, show a session's "
+             "certificate or error",
+    )
+    sessions_commands = sessions.add_subparsers(
+        dest="sessions_command", required=True
+    )
+    sessions_list = sessions_commands.add_parser(
+        "list", help="list every token in a session journal"
+    )
+    sessions_list.add_argument("--journal", required=True, metavar="PATH",
+                               help="session journal path (serve "
+                                    "--session-journal)")
+    sessions_show = sessions_commands.add_parser(
+        "show", help="show one token's journaled certificate or error"
+    )
+    sessions_show.add_argument("session_id", metavar="TOKEN")
+    sessions_show.add_argument("--journal", required=True, metavar="PATH")
+
+    proxy = commands.add_parser(
+        "proxy",
+        help="seeded network-fault chaos proxy: forward client<->daemon "
+             "traffic injecting resets, mid-frame truncation, byte "
+             "corruption, stalls, and duplicate delivery",
+    )
+    proxy.add_argument("--host", default="127.0.0.1", metavar="ADDR")
+    proxy.add_argument(
+        "--port", type=int, default=0, metavar="PORT",
+        help="listen port (0 picks a free port; see --port-file)",
+    )
+    proxy.add_argument(
+        "--port-file", default=None, metavar="PATH",
+        help="write the bound host:port to PATH once listening",
+    )
+    proxy.add_argument(
+        "--upstream", default=None, metavar="HOST:PORT",
+        help="the daemon to forward to",
+    )
+    proxy.add_argument(
+        "--upstream-file", default=None, metavar="PATH",
+        help="read the daemon's host:port from PATH (serve --port-file)",
+    )
+    for kind, what in (
+        ("reset", "abruptly reset the connection"),
+        ("truncate", "forward part of a frame, then close"),
+        ("corrupt", "flip one byte mid-stream"),
+        ("stall", "stop forwarding for --stall-s seconds"),
+        ("duplicate", "deliver one chunk twice"),
+    ):
+        proxy.add_argument(
+            f"--{kind}", type=float, default=0.0, metavar="P",
+            help=f"per-connection probability to {what}",
+        )
+    proxy.add_argument(
+        "--stall-s", type=float, default=5.0, metavar="S",
+        help="how long a stall stops forwarding",
+    )
+    proxy.add_argument(
+        "--direction", default="both", choices=("up", "down", "both"),
+        help="which half faults hit: client->server (up), server->client "
+             "(down), or RNG-chosen per connection",
+    )
+    proxy.add_argument("--seed", type=int, default=0,
+                       help="fault-schedule seed (deterministic per "
+                            "connection index)")
 
     runs = commands.add_parser(
         "runs", help="manage durable (journaled) runs: list, resume, triage"
@@ -963,6 +1078,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
     budget = None
     if args.session_wall is not None or args.session_rss is not None:
         budget = CellBudget(wall_s=args.session_wall, rss_mb=args.session_rss)
+    journal = None
+    if args.session_journal is not None:
+        from .service.journal import SessionJournal
+
+        journal = SessionJournal.open_or_create(args.session_journal)
+        known = len(journal.state.sessions)
+        in_flight = len(journal.state.in_flight())
+        print(
+            f"serve: session journal {args.session_journal} — {known} "
+            f"token(s) known, {in_flight} in flight at the last crash",
+            flush=True,
+        )
     service = RenamingService(
         args.host,
         args.port,
@@ -973,6 +1100,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_ids=args.max_ids,
         budget=budget,
         engine=args.engine,
+        journal=journal,
     )
 
     async def _serve() -> int:
@@ -989,7 +1117,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"serve: {stats.admitted} admitted, {stats.completed} completed, "
         f"{stats.violations} violation(s), {stats.rejected} rejected, "
         f"{stats.busy} busy, {stats.disconnected} disconnected, "
-        f"{stats.shed} shed, {stats.infra} infra"
+        f"{stats.shed} shed, {stats.infra} infra, "
+        f"{stats.replayed} replayed, {stats.queries} queried"
     )
     return code
 
@@ -1021,6 +1150,9 @@ def cmd_load(args: argparse.Namespace) -> int:
             seed=args.seed,
             timeout_s=args.timeout,
             workload=args.workload,
+            session_prefix=args.session_prefix,
+            retries=args.retries,
+            busy_retries=args.busy_retries,
         )
     )
     text = report.as_text()
@@ -1032,6 +1164,218 @@ def cmd_load(args: argparse.Namespace) -> int:
 
         atomic_write_text(args.report, text + "\n")
     return report.exit_code()
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """Exit codes mirror the run-command contract: 0 = journaled completed
+    with an ok certificate, 2 = journaled failure (or a not-ok
+    certificate), 3 = unknown token or transport failure, 4 = in flight."""
+    import asyncio
+
+    from .service.load import run_query_with_retry
+
+    host, port = _service_address(args)
+    outcome = asyncio.run(
+        run_query_with_retry(
+            host, port, args.session_id,
+            retries=args.retries, timeout_s=args.timeout,
+        )
+    )
+    token = args.session_id
+    if outcome.status == "completed":
+        certificate = outcome.certificate
+        verdict = "ok" if certificate is not None and certificate.ok else "NOT OK"
+        print(
+            f"{token}: completed — {outcome.algorithm}, "
+            f"{outcome.rounds} round(s), certificate {verdict}"
+        )
+        for original, name in outcome.entries:
+            print(f"  {original} -> {name}")
+        if certificate is not None and not certificate.ok:
+            for violation in certificate.violations:
+                print(f"  violation: {violation}", file=sys.stderr)
+            return EXIT_VIOLATION
+        return EXIT_OK
+    if outcome.status == "failed":
+        print(f"{token}: failed — {outcome.code}: {outcome.detail}")
+        return EXIT_VIOLATION
+    if outcome.status == "in-flight":
+        print(f"{token}: in flight — executing now, or interrupted by a "
+              f"crash and awaiting the client's retry")
+        return EXIT_INTERRUPTED
+    if outcome.status == "unknown":
+        print(f"{token}: unknown — the journal has never accepted this token")
+        return EXIT_INFRA
+    detail = f" ({outcome.detail})" if outcome.detail else ""
+    code = f" [{outcome.code}]" if outcome.code else ""
+    print(f"error: query {outcome.status}{code}{detail}", file=sys.stderr)
+    return EXIT_INFRA
+
+
+def _session_result_column(record) -> str:
+    if record.state == "completed":
+        return "certificate ok" if record.ok else "certificate NOT OK"
+    if record.state == "failed":
+        return record.code
+    retried = f", retried x{record.accepted - 1}" if record.accepted > 1 else ""
+    return f"interrupted{retried}" if record.accepted else "?"
+
+
+def cmd_sessions(args: argparse.Namespace) -> int:
+    from .service.journal import scan_session_journal
+
+    path = Path(args.journal)
+    state = scan_session_journal(path)
+    if state.header is None:
+        print(f"error: session journal {path} has no header record",
+              file=sys.stderr)
+        return EXIT_INFRA
+    if state.torn:
+        raw = path.read_bytes()
+        torn_bytes = len(raw) - state.good_bytes
+        with open(path, "r+b") as handle:
+            handle.truncate(state.good_bytes)
+        print(
+            f"torn tail: {torn_bytes} byte(s) cut mid-append by a crash — "
+            f"truncated (by fsync ordering no client was ever answered "
+            f"from them)"
+        )
+    if args.sessions_command == "list":
+        if not state.sessions:
+            print(f"session journal {path}: no sessions journaled")
+            return EXIT_OK
+        rows = []
+        for record in state.sessions.values():
+            request = record.request
+            rows.append([
+                record.session_id,
+                record.state if record.state != "in-flight" else "interrupted",
+                request.get("algorithm", "?"),
+                len(request.get("ids", [])) or "?",
+                record.accepted,
+                _session_result_column(record),
+            ])
+        print(format_table(
+            ["token", "state", "algorithm", "ids", "accepted", "result"],
+            rows,
+        ))
+        return EXIT_OK
+    # show
+    record = state.sessions.get(args.session_id)
+    if record is None:
+        print(f"error: token {args.session_id!r} not in {path}",
+              file=sys.stderr)
+        return EXIT_INFRA
+    request = record.request
+    print(f"token {record.session_id!r} in {path}")
+    print(f"  state:       "
+          f"{record.state if record.state != 'in-flight' else 'interrupted'}")
+    print(f"  accepted:    {record.accepted} time(s)")
+    print(f"  fingerprint: {record.fingerprint[:16]}…")
+    if request:
+        print(
+            f"  request:     algorithm={request.get('algorithm')} "
+            f"t={request.get('t')} attack={request.get('attack')} "
+            f"seed={request.get('seed')} ids={request.get('ids')}"
+        )
+    if record.state == "completed":
+        from .service.frames import FrameDecoder
+
+        decoder = FrameDecoder()
+        names, = decoder.feed(bytes.fromhex(record.names_hex))
+        certificate, = decoder.feed(bytes.fromhex(record.certificate_hex))
+        print(
+            f"  result:      {names.algorithm}, {names.rounds} round(s), "
+            f"namespace {certificate.namespace}, certificate "
+            f"{'ok' if certificate.ok else 'NOT OK'}"
+        )
+        for original, name in names.entries:
+            print(f"    {original} -> {name}")
+        for violation in certificate.violations:
+            print(f"    violation: {violation}")
+        return EXIT_OK if certificate.ok else EXIT_VIOLATION
+    if record.state == "failed":
+        print(f"  error:       {record.code}: {record.detail}")
+        if record.trace_pointer >= 0:
+            print(f"  trace:       round {record.trace_pointer}")
+        return EXIT_VIOLATION
+    print(
+        "  note:        accepted but never finished — in flight when the "
+        "daemon died; a client retry with this token re-admits it "
+        "exactly once"
+    )
+    return EXIT_INTERRUPTED
+
+
+def cmd_proxy(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .analysis import atomic_write_text
+    from .service.proxy import ChaosProxy, ProxyFaults
+
+    if (args.upstream is None) == (args.upstream_file is None):
+        print("error: proxy needs exactly one of --upstream or "
+              "--upstream-file", file=sys.stderr)
+        return EXIT_INFRA
+    if args.upstream_file is not None:
+        text = Path(args.upstream_file).read_text().strip()
+    else:
+        text = args.upstream
+    upstream_host, _, upstream_port = text.rpartition(":")
+    if not upstream_host or not upstream_port.isdigit():
+        print(f"error: bad upstream address {text!r} (expected host:port)",
+              file=sys.stderr)
+        return EXIT_INFRA
+    faults = ProxyFaults(
+        reset=args.reset,
+        truncate=args.truncate,
+        corrupt=args.corrupt,
+        stall=args.stall,
+        duplicate=args.duplicate,
+        stall_s=args.stall_s,
+        direction=args.direction,
+    )
+    proxy = ChaosProxy(
+        upstream_host,
+        int(upstream_port),
+        host=args.host,
+        port=args.port,
+        faults=faults,
+        seed=args.seed,
+    )
+
+    async def _run() -> None:
+        import signal as signal_module
+
+        await proxy.start()
+        host, port = proxy.bound_address
+        print(
+            f"proxy: {host}:{port} -> {upstream_host}:{upstream_port} "
+            f"(seed {args.seed})",
+            flush=True,
+        )
+        if args.port_file is not None:
+            atomic_write_text(args.port_file, f"{host}:{port}\n")
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal_module.SIGTERM, signal_module.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
+        try:
+            await stop.wait()
+        finally:
+            await proxy.close()
+
+    asyncio.run(_run())
+    stats = proxy.stats
+    print(
+        f"proxy: {stats.connections} connection(s), "
+        f"{stats.forwarded_bytes} byte(s) forwarded, "
+        f"{stats.resets} reset, {stats.truncations} truncated, "
+        f"{stats.corruptions} corrupted, {stats.stalls} stalled, "
+        f"{stats.duplicates} duplicated, "
+        f"{stats.upstream_failures} upstream failure(s)"
+    )
+    return EXIT_OK
 
 
 def cmd_runs_list(args: argparse.Namespace) -> int:
@@ -1321,6 +1665,12 @@ def _dispatch(args: argparse.Namespace) -> int:
         return cmd_serve(args)
     if args.command == "load":
         return cmd_load(args)
+    if args.command == "query":
+        return cmd_query(args)
+    if args.command == "sessions":
+        return cmd_sessions(args)
+    if args.command == "proxy":
+        return cmd_proxy(args)
     if args.command == "runs":
         return cmd_runs(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -11,9 +11,15 @@
   (``repro-renaming serve``): bounded admission with explicit
   backpressure, per-read idle deadlines, session deadlines, crash
   containment, graceful drain;
-* :mod:`repro.service.load` — the load generator
-  (``repro-renaming load``): concurrent sessions, client-side
-  re-validation, latency percentiles.
+* :mod:`repro.service.load` — the load generator and client library
+  (``repro-renaming load`` / ``query``): concurrent sessions, client-side
+  re-validation, latency percentiles, idempotent retries;
+* :mod:`repro.service.journal` — the durable session journal
+  (``--session-journal``): checksummed append-only idempotency ledger,
+  crash-recoverable byte-identical replay;
+* :mod:`repro.service.proxy` — the seeded network-fault chaos proxy
+  (``repro-renaming proxy``): resets, truncation, corruption, stalls,
+  duplicate delivery between client and daemon.
 
 Attribute access is lazy: :mod:`repro.wire` imports the leaf
 ``service.messages`` module while *it* is still initialising, so this
@@ -25,10 +31,13 @@ from __future__ import annotations
 
 from .messages import (  # noqa: F401 — the leaf module, always safe
     ERROR_CODES,
+    SESSION_STATES,
     CertificateMessage,
     CloseSessionMessage,
     NamesAssignedMessage,
     OpenSessionMessage,
+    QueryRequestMessage,
+    QueryResponseMessage,
     RegisterIdsMessage,
     ServerBusyMessage,
     SessionErrorMessage,
@@ -48,18 +57,33 @@ _LAZY = {
     "RenamingService": "server",
     "ServiceStats": "server",
     "LoadReport": "load",
+    "QueryOutcome": "load",
     "run_load": "load",
+    "run_query": "load",
+    "run_query_with_retry": "load",
     "run_session": "load",
+    "run_session_with_retry": "load",
     "validate_names": "load",
+    "SessionJournal": "journal",
+    "SessionJournalState": "journal",
+    "SessionRecord": "journal",
+    "scan_session_journal": "journal",
+    "request_fingerprint": "journal",
+    "ChaosProxy": "proxy",
+    "ProxyFaults": "proxy",
+    "ProxyStats": "proxy",
 }
 
 __all__ = sorted(
     [
         "ERROR_CODES",
+        "SESSION_STATES",
         "CertificateMessage",
         "CloseSessionMessage",
         "NamesAssignedMessage",
         "OpenSessionMessage",
+        "QueryRequestMessage",
+        "QueryResponseMessage",
         "RegisterIdsMessage",
         "ServerBusyMessage",
         "SessionErrorMessage",

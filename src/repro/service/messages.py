@@ -27,10 +27,13 @@ from ..sim.messages import Message
 
 __all__ = [
     "ERROR_CODES",
+    "SESSION_STATES",
     "CertificateMessage",
     "CloseSessionMessage",
     "NamesAssignedMessage",
     "OpenSessionMessage",
+    "QueryRequestMessage",
+    "QueryResponseMessage",
     "RegisterIdsMessage",
     "ServerBusyMessage",
     "SessionErrorMessage",
@@ -51,6 +54,15 @@ ERROR_CODES = (
     "rss-budget",        # per-session RSS budget breached
     "shutdown",          # session shed during graceful drain
     "infra",             # server-side failure unrelated to the session
+    "duplicate-session",   # idempotency token already executing right now
+)
+
+#: Every ``state`` a :class:`QueryResponseMessage` may carry.
+SESSION_STATES = (
+    "completed",   # terminal; the journaled NamesAssigned + Certificate follow
+    "failed",      # terminal; the journaled SessionError follows
+    "in-flight",   # accepted (possibly before a crash) but not yet terminal
+    "unknown",     # the journal has never seen this token
 )
 
 
@@ -64,12 +76,21 @@ class OpenSessionMessage(Message):
     the algorithm is configured for; with ``t > 0`` the run simulates
     ``t`` faulty slots driven by ``attack``, so only the correct slots'
     names come back (exactly the simulator's contract).
+
+    ``session_id`` is an optional client-supplied **idempotency token**.
+    Against a daemon running with ``--session-journal``, a token makes the
+    submission durable and repeatable: re-submitting the same token (same
+    parameters, same ids) after a crash or disconnect replays the journaled
+    result byte-for-byte instead of re-running, and
+    :class:`QueryRequestMessage` can ask for the outcome later. Empty means
+    anonymous (pre-journal behaviour, nothing recorded).
     """
 
     algorithm: str = "auto"
     t: int = 0
     attack: str = "silent"
     seed: int = 0
+    session_id: str = ""
 
 
 @dataclass(frozen=True)
@@ -137,6 +158,32 @@ class CertificateMessage(Message):
     ok: bool
     checked: Tuple[str, ...]
     violations: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class QueryRequestMessage(Message):
+    """Client → server: what happened to idempotency token ``session_id``?
+
+    Must be the first (and only) client frame of its connection; only
+    meaningful against a daemon running with ``--session-journal``.
+    """
+
+    session_id: str
+
+
+@dataclass(frozen=True)
+class QueryResponseMessage(Message):
+    """Server → client: the journaled state of a queried token.
+
+    ``state`` is one of :data:`SESSION_STATES`. For ``completed`` the
+    journaled :class:`NamesAssignedMessage` + :class:`CertificateMessage`
+    frames follow on the same connection, byte-identical to the ones the
+    original submission received; for ``failed`` the journaled
+    :class:`SessionErrorMessage` follows.
+    """
+
+    session_id: str
+    state: str
 
 
 @dataclass(frozen=True)

@@ -46,12 +46,15 @@ from typing import List, Optional, Set, Tuple
 from ..analysis.supervisor import CellBudget
 from ..sim import DEFAULT_ENGINE, ConfigurationError, ResourceBudgetExceeded, SafetyViolation
 from ..wire import WireError
-from .frames import DEFAULT_MAX_FRAME_BYTES, read_frame, write_frame
+from .frames import DEFAULT_MAX_FRAME_BYTES, encode_frame, read_frame, write_frame
+from .journal import SessionJournal, SessionRecord, request_fingerprint
 from .messages import (
     CertificateMessage,
     CloseSessionMessage,
     NamesAssignedMessage,
     OpenSessionMessage,
+    QueryRequestMessage,
+    QueryResponseMessage,
     RegisterIdsMessage,
     ServerBusyMessage,
     SessionErrorMessage,
@@ -65,6 +68,14 @@ from .session import (
 )
 
 __all__ = ["RenamingService", "ServiceStats"]
+
+#: Error codes journaled as *terminal*: the failure is a deterministic
+#: function of the request, so a retry would fail identically — replay the
+#: journaled error instead of re-running. Transient codes (idle-timeout,
+#: wire, protocol, shutdown, infra) leave the token in-flight for retry.
+_DETERMINISTIC_FAILURE_CODES = frozenset(
+    {"config", "safety-violation", "wall-budget", "rss-budget"}
+)
 
 log = logging.getLogger("repro.service")
 
@@ -90,6 +101,8 @@ class ServiceStats:
     disconnected: int = 0  # client vanished mid-session
     shed: int = 0          # sessions cancelled during drain
     infra: int = 0         # server-side failures (exit 3)
+    replayed: int = 0      # tokened repeat submissions answered from the journal
+    queries: int = 0       # QueryRequest frames served
     error_codes: List[str] = field(default_factory=list)
 
     def as_dict(self) -> dict:
@@ -102,6 +115,8 @@ class ServiceStats:
             "disconnected": self.disconnected,
             "shed": self.shed,
             "infra": self.infra,
+            "replayed": self.replayed,
+            "queries": self.queries,
         }
 
 
@@ -133,6 +148,7 @@ class RenamingService:
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         runner_threads: Optional[int] = None,
         install_signal_handlers: bool = True,
+        journal: Optional[SessionJournal] = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -159,6 +175,17 @@ class RenamingService:
         self._executor = ThreadPoolExecutor(
             max_workers=runner_threads or min(32, max(4, max_sessions)),
             thread_name_prefix="repro-session",
+        )
+        self.journal = journal
+        #: Tokens executing right now — a concurrent duplicate submission
+        #: is a typed ``duplicate-session`` reject, not a second run.
+        self._active_tokens: Set[str] = set()
+        # Journal appends fsync; a dedicated single-thread executor keeps
+        # the event loop unblocked while serialising the writes.
+        self._journal_executor = (
+            ThreadPoolExecutor(max_workers=1, thread_name_prefix="repro-journal")
+            if journal is not None
+            else None
         )
 
     # ------------------------------------------------------------------ #
@@ -213,6 +240,11 @@ class RenamingService:
             self._server.close()
             await self._server.wait_closed()
             self._executor.shutdown(wait=False, cancel_futures=True)
+            if self._journal_executor is not None:
+                # Let queued journal appends land before closing the file.
+                self._journal_executor.shutdown(wait=True)
+            if self.journal is not None:
+                self.journal.close()
         return self.exit_code()
 
     async def _drain(self) -> None:
@@ -339,6 +371,13 @@ class RenamingService:
                     if opened is not None:
                         raise _Reject("protocol", "session already open")
                     opened = message
+                elif isinstance(message, QueryRequestMessage):
+                    if opened is not None:
+                        raise _Reject(
+                            "protocol", "QueryRequest inside an open session"
+                        )
+                    await self._answer_query(writer, message)
+                    return
                 elif isinstance(message, RegisterIdsMessage):
                     if opened is None:
                         raise _Reject("protocol", "RegisterIds before OpenSession")
@@ -360,7 +399,7 @@ class RenamingService:
                         "protocol",
                         f"unexpected {type(message).__name__} frame in a session",
                     )
-            result = await self._execute(opened, tuple(ids))
+            await self._execute_and_respond(session_id, writer, opened, tuple(ids))
         except _Reject as rej:
             self.stats.rejected += 1
             self.stats.error_codes.append(rej.code)
@@ -372,28 +411,170 @@ class RenamingService:
                 ),
             )
             return
-        self.stats.completed += 1
-        if not result.ok:
-            self.stats.violations += 1
-            log.warning(
-                "session %d: certificate NOT ok: %s",
-                session_id,
-                "; ".join(result.violations),
+
+    async def _execute_and_respond(
+        self,
+        session_id: int,
+        writer: asyncio.StreamWriter,
+        opened: OpenSessionMessage,
+        ids: Tuple[int, ...],
+    ) -> None:
+        """Run the closed quorum and stream the result, journaling tokened
+        sessions durably (``accepted`` → terminal) *before* any result
+        frame leaves the process."""
+        token = opened.session_id
+        fingerprint = ""
+        if token:
+            if self.journal is None:
+                raise _Reject(
+                    "config",
+                    "session carries an idempotency token but the daemon "
+                    "runs without --session-journal",
+                )
+            request = {
+                "session_id": token,
+                "algorithm": opened.algorithm,
+                "t": opened.t,
+                "attack": opened.attack,
+                "seed": opened.seed,
+                "ids": list(ids),
+            }
+            fingerprint = request_fingerprint(request)
+            existing = self.journal.lookup(token)
+            if existing is not None and existing.state != "in-flight":
+                if existing.fingerprint != fingerprint:
+                    raise _Reject(
+                        "config",
+                        f"idempotency token {token!r} was journaled with "
+                        f"different parameters — a token names exactly one "
+                        f"request",
+                    )
+                log.info(
+                    "session %d: token %r replayed from the journal (%s)",
+                    session_id, token, existing.state,
+                )
+                self.stats.replayed += 1
+                await self._replay_terminal(writer, existing)
+                return
+            if token in self._active_tokens:
+                raise _Reject(
+                    "duplicate-session",
+                    f"idempotency token {token!r} is already executing on "
+                    f"another connection",
+                )
+            self._active_tokens.add(token)
+        try:
+            if token:
+                await self._journal_call(
+                    self.journal.accepted, token, fingerprint, request
+                )
+            try:
+                result = await self._execute(opened, ids)
+            except _Reject as rej:
+                if token and rej.code in _DETERMINISTIC_FAILURE_CODES:
+                    # Durable before the error frame leaves: a retry of
+                    # this token replays the identical typed error.
+                    await self._journal_call(
+                        self.journal.failed,
+                        token,
+                        fingerprint,
+                        code=rej.code,
+                        detail=rej.detail,
+                        trace_pointer=rej.trace_pointer,
+                    )
+                raise
+            self.stats.completed += 1
+            if not result.ok:
+                self.stats.violations += 1
+                log.warning(
+                    "session %d: certificate NOT ok: %s",
+                    session_id,
+                    "; ".join(result.violations),
+                )
+            names_frame = encode_frame(
+                NamesAssignedMessage(
+                    entries=result.names,
+                    algorithm=result.algorithm,
+                    rounds=result.rounds,
+                )
             )
+            certificate_frame = encode_frame(
+                CertificateMessage(
+                    namespace=result.namespace,
+                    ok=result.ok,
+                    checked=result.checked,
+                    violations=result.violations,
+                )
+            )
+            if token:
+                # The write-ahead contract: the result is durable before
+                # the first response byte leaves the process.
+                await self._journal_call(
+                    self.journal.completed,
+                    token,
+                    fingerprint,
+                    names_hex=names_frame.hex(),
+                    certificate_hex=certificate_frame.hex(),
+                    ok=result.ok,
+                )
+            writer.write(names_frame)
+            writer.write(certificate_frame)
+            await writer.drain()
+        finally:
+            if token:
+                self._active_tokens.discard(token)
+
+    async def _replay_terminal(
+        self, writer: asyncio.StreamWriter, record: SessionRecord
+    ) -> None:
+        """Answer a finished token from the journal, without re-running.
+
+        Completed sessions are replayed from the *stored frame bytes* —
+        byte-identical to the original response by construction."""
+        if record.state == "completed":
+            writer.write(bytes.fromhex(record.names_hex))
+            writer.write(bytes.fromhex(record.certificate_hex))
+            await writer.drain()
+        else:
+            await write_frame(
+                writer,
+                SessionErrorMessage(
+                    code=record.code,
+                    detail=record.detail,
+                    trace_pointer=record.trace_pointer,
+                ),
+            )
+
+    async def _answer_query(
+        self, writer: asyncio.StreamWriter, query: QueryRequestMessage
+    ) -> None:
+        """Serve a QueryRequest: state frame, then the journaled result."""
+        self.stats.queries += 1
+        if self.journal is None:
+            raise _Reject(
+                "config",
+                "session queries require --session-journal on the daemon",
+            )
+        record = self.journal.lookup(query.session_id)
+        if query.session_id in self._active_tokens:
+            state = "in-flight"
+            record = None  # executing right now; no terminal frames to send
+        elif record is None:
+            state = "unknown"
+        else:
+            state = record.state
         await write_frame(
             writer,
-            NamesAssignedMessage(
-                entries=result.names, algorithm=result.algorithm, rounds=result.rounds
-            ),
+            QueryResponseMessage(session_id=query.session_id, state=state),
         )
-        await write_frame(
-            writer,
-            CertificateMessage(
-                namespace=result.namespace,
-                ok=result.ok,
-                checked=result.checked,
-                violations=result.violations,
-            ),
+        if record is not None and record.state in ("completed", "failed"):
+            await self._replay_terminal(writer, record)
+
+    async def _journal_call(self, method, *args, **kwargs) -> None:
+        """Run one journal append off-loop (fsync) on the serial executor."""
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            self._journal_executor, lambda: method(*args, **kwargs)
         )
 
     async def _execute(self, opened: OpenSessionMessage, ids: Tuple[int, ...]):

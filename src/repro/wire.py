@@ -40,6 +40,8 @@ from .service.messages import (
     CloseSessionMessage,
     NamesAssignedMessage,
     OpenSessionMessage,
+    QueryRequestMessage,
+    QueryResponseMessage,
     RegisterIdsMessage,
     ServerBusyMessage,
     SessionErrorMessage,
@@ -316,6 +318,7 @@ def _encode_open_session(message: OpenSessionMessage, out: bytearray) -> None:
     write_varint(message.t, out)
     _write_text(message.attack, out)
     write_varint(message.seed, out)
+    _write_text(message.session_id, out)
 
 
 def _decode_open_session(data: bytes, offset: int):
@@ -323,7 +326,14 @@ def _decode_open_session(data: bytes, offset: int):
     t, offset = read_varint(data, offset)
     attack, offset = _read_text(data, offset)
     seed, offset = read_varint(data, offset)
-    return OpenSessionMessage(algorithm=algorithm, t=t, attack=attack, seed=seed), offset
+    session_id, offset = _read_text(data, offset)
+    return (
+        OpenSessionMessage(
+            algorithm=algorithm, t=t, attack=attack, seed=seed,
+            session_id=session_id,
+        ),
+        offset,
+    )
 
 
 def _encode_register_ids(message: RegisterIdsMessage, out: bytearray) -> None:
@@ -460,6 +470,26 @@ def _decode_session_error(data: bytes, offset: int):
     )
 
 
+def _encode_query_request(message: QueryRequestMessage, out: bytearray) -> None:
+    _write_text(message.session_id, out)
+
+
+def _decode_query_request(data: bytes, offset: int):
+    session_id, offset = _read_text(data, offset)
+    return QueryRequestMessage(session_id=session_id), offset
+
+
+def _encode_query_response(message: QueryResponseMessage, out: bytearray) -> None:
+    _write_text(message.session_id, out)
+    _write_text(message.state, out)
+
+
+def _decode_query_response(data: bytes, offset: int):
+    session_id, offset = _read_text(data, offset)
+    state, offset = _read_text(data, offset)
+    return QueryResponseMessage(session_id=session_id, state=state), offset
+
+
 def _single_id_decoder(cls: Type[Message]) -> Decoder:
     def decode(data: bytes, offset: int):
         identifier, offset = read_varint(data, offset)
@@ -503,6 +533,8 @@ _register(ServerBusyMessage, 26, _encode_busy, _decode_busy)
 _register(NamesAssignedMessage, 27, _encode_names, _decode_names)
 _register(CertificateMessage, 28, _encode_certificate, _decode_certificate)
 _register(SessionErrorMessage, 29, _encode_session_error, _decode_session_error)
+_register(QueryRequestMessage, 30, _encode_query_request, _decode_query_request)
+_register(QueryResponseMessage, 31, _encode_query_response, _decode_query_response)
 
 _BY_TAG: Dict[int, Tuple[Type[Message], Decoder]] = {
     tag: (cls, decoder) for cls, (tag, _, decoder) in _CODECS.items()

@@ -24,6 +24,8 @@ from repro.service.messages import (
     CloseSessionMessage,
     NamesAssignedMessage,
     OpenSessionMessage,
+    QueryRequestMessage,
+    QueryResponseMessage,
     RegisterIdsMessage,
     ServerBusyMessage,
     SessionErrorMessage,
@@ -136,7 +138,12 @@ class TestRoundtrips:
                 tag=3, payload=RelayMessage(entries=(((1,), 9),))
             ),
             "OpenSessionMessage": OpenSessionMessage(
-                algorithm="auto", t=2, attack="conforming", seed=11
+                algorithm="auto", t=2, attack="conforming", seed=11,
+                session_id="load-42",
+            ),
+            "QueryRequestMessage": QueryRequestMessage(session_id="load-42"),
+            "QueryResponseMessage": QueryResponseMessage(
+                session_id="load-42", state="completed"
             ),
             "RegisterIdsMessage": RegisterIdsMessage(ids=(4, 9, 17)),
             "CloseSessionMessage": CloseSessionMessage(),

@@ -47,6 +47,8 @@ from repro.service.messages import (
     CloseSessionMessage,
     NamesAssignedMessage,
     OpenSessionMessage,
+    QueryRequestMessage,
+    QueryResponseMessage,
     RegisterIdsMessage,
     ServerBusyMessage,
     SessionErrorMessage,
@@ -110,8 +112,10 @@ STRATEGIES = {
     # Service-session frames (tags 22+). Text fields are capped at
     # MAX_TEXT_BYTES by the codec; these strategies stay well inside.
     OpenSessionMessage: st.builds(
-        OpenSessionMessage, _text, _uint, _text, _uint
+        OpenSessionMessage, _text, _uint, _text, _uint, _text
     ),
+    QueryRequestMessage: st.builds(QueryRequestMessage, _text),
+    QueryResponseMessage: st.builds(QueryResponseMessage, _text, _text),
     RegisterIdsMessage: st.builds(
         RegisterIdsMessage, st.lists(_uint, max_size=16).map(tuple)
     ),
